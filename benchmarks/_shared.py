@@ -1,0 +1,191 @@
+"""Shared infrastructure for the reproduction benches.
+
+Every bench module regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index).  Each exposes:
+
+* pytest-benchmark entry points (``bench_*`` functions) that run a small,
+  quick configuration so ``pytest benchmarks/ --benchmark-only`` stays
+  green and fast;
+* a ``main()`` that runs the full scaled experiment and prints the
+  paper-style table next to the paper's reported numbers (run the module
+  directly: ``python benchmarks/bench_table2_speedup_est.py``).
+
+Scales
+------
+
+``QUICK_SCALE`` (pytest) uses ~1/500 of the paper's bank sizes;
+``FULL_SCALE`` (main()) uses 1/100.  Both engines run identically at
+either scale, so speed-up *ratios* and sensitivity percentages are
+meaningful at both; the full scale simply exercises more of the paper's
+dynamic range.  Results are cached per (pair, scale) within a process so
+the table-4/5 (and 6/7) twins don't recompute each other's runs.
+"""
+
+from __future__ import annotations
+
+import functools
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.baselines import BlastnEngine, BlastnParams
+from repro.core import OrisEngine, OrisParams
+from repro.data import load_bank
+from repro.eval import compare_outputs
+
+__all__ = [
+    "QUICK_SCALE",
+    "FULL_SCALE",
+    "EST_PAIRS",
+    "LARGE_PAIRS",
+    "PairRun",
+    "run_pair",
+    "search_space_mbp2",
+    "print_and_return",
+]
+
+QUICK_SCALE: float = 0.002
+FULL_SCALE: float = 0.01
+
+#: The paper's EST pairings (Tables 2, 4, 5 and Figure 3), in its order.
+EST_PAIRS: list[tuple[str, str]] = [
+    ("EST1", "EST2"),
+    ("EST1", "EST3"),
+    ("EST1", "EST5"),
+    ("EST3", "EST4"),
+    ("EST1", "EST7"),
+    ("EST4", "EST5"),
+    ("EST5", "EST6"),
+    ("EST5", "EST7"),
+]
+
+#: The paper's large-bank pairings (Tables 3, 6, 7), in its order.
+LARGE_PAIRS: list[tuple[str, str]] = [
+    ("H19", "VRL"),
+    ("BCT", "EST7"),
+    ("H19", "BCT"),
+    ("BCT", "VRL"),
+    ("H10", "VRL"),
+    ("H10", "BCT"),
+]
+
+#: Paper-reported numbers, for side-by-side "shape" comparison.
+PAPER_SPEEDUPS: dict[tuple[str, str], float] = {
+    ("EST1", "EST2"): 10.0,
+    ("EST1", "EST3"): 16.2,
+    ("EST1", "EST5"): 17.1,
+    ("EST3", "EST4"): 18.5,
+    ("EST1", "EST7"): 16.0,
+    ("EST4", "EST5"): 24.0,
+    ("EST5", "EST6"): 28.4,
+    ("EST5", "EST7"): 28.8,
+    ("H19", "VRL"): 6.2,
+    ("BCT", "EST7"): 8.6,
+    ("H19", "BCT"): 5.5,
+    ("BCT", "VRL"): 9.2,
+    ("H10", "VRL"): 8.6,
+    ("H10", "BCT"): 6.6,
+}
+
+PAPER_SCORIS_MISS: dict[tuple[str, str], float] = {
+    ("EST1", "EST2"): 3.31,
+    ("EST1", "EST3"): 2.67,
+    ("EST1", "EST5"): 3.59,
+    ("EST3", "EST4"): 2.89,
+    ("EST1", "EST7"): 3.07,
+    ("EST5", "EST6"): 3.90,
+    ("EST5", "EST7"): 3.56,
+    ("BCT", "EST7"): 0.79,
+    ("BCT", "VRL"): 0.77,
+    ("H10", "VRL"): 0.12,
+    ("H19", "VRL"): 0.10,
+    ("H10", "BCT"): 0.0,
+    ("H19", "BCT"): 0.0,
+}
+
+PAPER_BLAST_MISS: dict[tuple[str, str], float] = {
+    ("EST1", "EST2"): 2.76,
+    ("EST1", "EST3"): 3.02,
+    ("EST1", "EST5"): 3.07,
+    ("EST3", "EST4"): 3.39,
+    ("EST1", "EST7"): 2.74,
+    ("EST5", "EST6"): 4.72,
+    ("EST5", "EST7"): 4.13,
+    ("BCT", "EST7"): 1.42,
+    ("BCT", "VRL"): 0.56,
+    ("H10", "VRL"): 0.01,
+    ("H19", "VRL"): 0.00,
+    ("H10", "BCT"): 0.0,
+    ("H19", "BCT"): 0.00,
+}
+
+
+@dataclass(frozen=True)
+class PairRun:
+    """Both engines' outputs and timings for one bank pair."""
+
+    name1: str
+    name2: str
+    scale: float
+    space_mbp2: float  # search space scaled back to paper units
+    oris_seconds: float
+    blast_seconds: float
+    oris_records: tuple
+    blast_records: tuple
+
+    @property
+    def speedup(self) -> float:
+        return self.blast_seconds / max(self.oris_seconds, 1e-9)
+
+    @property
+    def sensitivity(self):
+        return compare_outputs(list(self.oris_records), list(self.blast_records))
+
+
+@functools.lru_cache(maxsize=64)
+def _cached_bank(name: str, scale: float):
+    return load_bank(name, scale=scale)
+
+
+@functools.lru_cache(maxsize=64)
+def run_pair(name1: str, name2: str, scale: float) -> PairRun:
+    """Run ORIS and the BLASTN-like baseline on one paper bank pairing.
+
+    Both engines use the paper's run configuration: W = 11, e <= 1e-3,
+    single strand, DUST filter (section 3.3).
+    """
+    bank1 = _cached_bank(name1, scale)
+    bank2 = _cached_bank(name2, scale)
+
+    t0 = time.perf_counter()
+    oris = OrisEngine(OrisParams()).compare(bank1, bank2)
+    t_oris = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    blast = BlastnEngine(BlastnParams()).compare(bank1, bank2)
+    t_blast = time.perf_counter() - t0
+
+    return PairRun(
+        name1=name1,
+        name2=name2,
+        scale=scale,
+        space_mbp2=search_space_mbp2(name1, name2),
+        oris_seconds=t_oris,
+        blast_seconds=t_blast,
+        oris_records=tuple(oris.records),
+        blast_records=tuple(blast.records),
+    )
+
+
+def search_space_mbp2(name1: str, name2: str) -> float:
+    """Paper-unit search space: product of the *paper's* bank sizes."""
+    from repro.data import PAPER_BANKS
+
+    return PAPER_BANKS[name1].mbp * PAPER_BANKS[name2].mbp
+
+
+def print_and_return(text: str) -> str:
+    """Print a harness table (benches call this from main())."""
+    sys.stdout.write(text)
+    sys.stdout.flush()
+    return text

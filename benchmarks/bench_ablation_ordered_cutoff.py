@@ -1,0 +1,116 @@
+"""Ablation: the ordered-seed cutoff (paper section 2.2's key claim).
+
+"This simple test ... ensures that unique HSPs are generated.  This is
+the key point of the ORIS algorithm.  Without such a condition the same
+HSP would be produced in multiple copies, leading to add a costly
+procedure to suppress all the duplicates."
+
+This bench runs the engine with the cutoff ON (the algorithm) and OFF
+(the counterfactual: every duplicate extension completes and an explicit
+dedup structure removes the copies), reporting the duplicate-HSP volume,
+the extension work, and the step-2 time.  Identical final records are
+asserted -- the cutoff changes cost, never results.
+
+    python benchmarks/bench_ablation_ordered_cutoff.py
+    pytest benchmarks/bench_ablation_ordered_cutoff.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import time
+
+from _shared import FULL_SCALE, QUICK_SCALE, _cached_bank, print_and_return
+from repro.core import OrisEngine, OrisParams
+from repro.eval import render_table
+
+
+def run_ablation(scale: float, pair=("EST1", "EST2")):
+    b1 = _cached_bank(pair[0], scale)
+    b2 = _cached_bank(pair[1], scale)
+    out = {}
+    for label, params in (
+        ("cutoff ON", OrisParams()),
+        ("cutoff OFF + dedup", OrisParams(ordered_cutoff=False)),
+    ):
+        t0 = time.perf_counter()
+        res = OrisEngine(params).compare(b1, b2)
+        out[label] = (res, time.perf_counter() - t0)
+    return out
+
+
+def make_table(scale: float, pair=("EST1", "EST2")) -> tuple[str, dict]:
+    out = run_ablation(scale, pair)
+    rows = []
+    for label, (res, wall) in out.items():
+        c = res.counters
+        rows.append(
+            (
+                label,
+                c.n_pairs,
+                c.n_cut,
+                c.n_hsps,
+                c.ungapped_steps,
+                res.timings.ungapped,
+                len(res.records),
+            )
+        )
+    text = render_table(
+        [
+            "variant",
+            "hit pairs",
+            "cut/duplicate",
+            "unique HSPs",
+            "extension steps",
+            "step-2 time (s)",
+            "records",
+        ],
+        rows,
+        title=f"Ablation -- ordered-seed cutoff on {pair[0]} vs {pair[1]} (scale {scale})",
+    )
+    return text, out
+
+
+def check_shape(out) -> None:
+    on, t_on = out["cutoff ON"]
+    off, t_off = out["cutoff OFF + dedup"]
+    # identical results
+    assert [r.to_line() for r in on.records] == [r.to_line() for r in off.records]
+    assert on.counters.n_hsps == off.counters.n_hsps
+    # the cutoff saves extension work
+    assert on.counters.ungapped_steps < off.counters.ungapped_steps
+    # without it, many duplicate HSP copies are produced and suppressed
+    duplicates_suppressed = off.counters.n_pairs - off.counters.n_hsps
+    assert duplicates_suppressed > off.counters.n_hsps
+
+
+def bench_ablation_cutoff_on(benchmark):
+    b1 = _cached_bank("EST1", QUICK_SCALE)
+    b2 = _cached_bank("EST2", QUICK_SCALE)
+    res = benchmark.pedantic(
+        lambda: OrisEngine(OrisParams()).compare(b1, b2), rounds=2, iterations=1
+    )
+    assert res.counters.n_cut > 0
+
+
+def bench_ablation_cutoff_off(benchmark):
+    b1 = _cached_bank("EST1", QUICK_SCALE)
+    b2 = _cached_bank("EST2", QUICK_SCALE)
+    res = benchmark.pedantic(
+        lambda: OrisEngine(OrisParams(ordered_cutoff=False)).compare(b1, b2),
+        rounds=2,
+        iterations=1,
+    )
+    assert res.counters.n_cut == 0
+
+
+def main() -> None:
+    text, out = make_table(FULL_SCALE)
+    print_and_return(text)
+    check_shape(out)
+    print_and_return(
+        "shape check: identical records, cutoff saves extension work: OK\n"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""Ablation: repeat-rich genomes (paper section 4's future-work item).
+
+"Testing SCORIS-N on genomes having a large number of repeat sequences.
+Generally, algorithm performances are not so good when dealing with these
+specific sequences."
+
+This bench sweeps the repeat content of a genome pair and measures the
+hit-pair volume (which grows quadratically in per-repeat copy number --
+the pathology the paper anticipates), the effect of the low-complexity
+filter, and the effect of the ``max_occurrences`` repeat guard the
+library adds on top of the paper.
+
+    python benchmarks/bench_ablation_repeats.py
+    pytest benchmarks/bench_ablation_repeats.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _shared import FULL_SCALE, QUICK_SCALE, print_and_return
+from repro.core import OrisEngine, OrisParams
+from repro.data.synthetic import insert_repeats, mutate, random_dna
+from repro.eval import render_table
+from repro.io.bank import Bank
+
+#: Copies per repeat family swept.
+COPY_COUNTS = (0, 4, 8, 16)
+
+
+def repeat_pair(scale: float, copies: int):
+    rng = np.random.default_rng(1000 + copies)
+    n = max(int(1_000_000 * scale), 4_000)
+    g = random_dna(rng, n)
+    if copies:
+        g = insert_repeats(
+            rng, g, n_families=3, family_len=max(n // 50, 100),
+            copies_per_family=copies, divergence=0.02,
+        )
+    m = mutate(rng, g, sub_rate=0.05, indel_rate=0.003)
+    return Bank.from_strings([("G", g)]), Bank.from_strings([("M", m)])
+
+
+def run_sweep(scale: float, copy_counts=COPY_COUNTS):
+    rows = []
+    for copies in copy_counts:
+        b1, b2 = repeat_pair(scale, copies)
+        t0 = time.perf_counter()
+        res = OrisEngine(OrisParams()).compare(b1, b2)
+        wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        capped = OrisEngine(OrisParams(max_occurrences=16)).compare(b1, b2)
+        wall_capped = time.perf_counter() - t0
+        rows.append(
+            (
+                copies,
+                res.counters.n_pairs,
+                len(res.records),
+                wall,
+                capped.counters.n_pairs,
+                wall_capped,
+            )
+        )
+    return rows
+
+
+def make_table(scale: float) -> tuple[str, list]:
+    rows = run_sweep(scale)
+    text = render_table(
+        [
+            "repeat copies",
+            "hit pairs",
+            "records",
+            "time (s)",
+            "pairs (occ<=16)",
+            "time capped (s)",
+        ],
+        rows,
+        title=f"Ablation -- repeat-rich genomes (scale {scale})",
+    )
+    return text, rows
+
+
+def check_shape(rows) -> None:
+    pairs = [r[1] for r in rows]
+    # the paper's anticipated pathology: work grows with repeat content
+    assert pairs[-1] > pairs[0] * 1.5
+    # the occurrence cap contains it
+    for copies, full, _, _, capped, _ in rows:
+        assert capped <= full
+
+
+def bench_repeat_free(benchmark):
+    b1, b2 = repeat_pair(QUICK_SCALE, 0)
+    res = benchmark.pedantic(
+        lambda: OrisEngine(OrisParams()).compare(b1, b2), rounds=1, iterations=1
+    )
+    assert res.counters.n_pairs > 0
+
+
+def bench_repeat_heavy(benchmark):
+    b1, b2 = repeat_pair(QUICK_SCALE, 16)
+    res = benchmark.pedantic(
+        lambda: OrisEngine(OrisParams()).compare(b1, b2), rounds=1, iterations=1
+    )
+    assert res.counters.n_pairs > 0
+
+
+def main() -> None:
+    text, rows = make_table(FULL_SCALE)
+    print_and_return(text)
+    check_shape(rows)
+    print_and_return("shape check: pairs grow with repeats, cap contains them: OK\n")
+
+
+if __name__ == "__main__":
+    main()

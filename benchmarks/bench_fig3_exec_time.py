@@ -1,0 +1,109 @@
+"""Experiment: paper Figure 3 (section 3.3) -- execution time vs search space.
+
+"Figure 3 shows the execution time of BLASTN and SCORIS-N, when EST banks
+are compared to each other.  It can be seen that SCORIS-N is much faster,
+and that the difference grows with the size of the banks."
+
+This bench measures both engines over the paper's EST pairings, plots
+time against search space (product of bank sizes) as an ASCII scatter,
+and asserts the figure's two qualitative claims: ORIS is below BLASTN
+everywhere, and the absolute gap widens with the search space.
+
+    python benchmarks/bench_fig3_exec_time.py
+    pytest benchmarks/bench_fig3_exec_time.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from _shared import (
+    EST_PAIRS,
+    FULL_SCALE,
+    QUICK_SCALE,
+    print_and_return,
+    run_pair,
+)
+from repro.eval import ascii_series_plot, render_table
+
+
+def bench_fig3_smallest_pair_oris(benchmark):
+    """ORIS side of the figure's smallest point (quick scale)."""
+    from repro.core import OrisEngine, OrisParams
+    from _shared import _cached_bank
+
+    b1 = _cached_bank("EST1", QUICK_SCALE)
+    b2 = _cached_bank("EST2", QUICK_SCALE)
+    res = benchmark.pedantic(
+        lambda: OrisEngine(OrisParams()).compare(b1, b2), rounds=3, iterations=1
+    )
+    assert res.records
+
+
+def bench_fig3_smallest_pair_blastn(benchmark):
+    """BLASTN side of the figure's smallest point (quick scale)."""
+    from repro.baselines import BlastnEngine, BlastnParams
+    from _shared import _cached_bank
+
+    b1 = _cached_bank("EST1", QUICK_SCALE)
+    b2 = _cached_bank("EST2", QUICK_SCALE)
+    res = benchmark.pedantic(
+        lambda: BlastnEngine(BlastnParams()).compare(b1, b2), rounds=3, iterations=1
+    )
+    assert res.records
+
+
+def collect(scale: float, pairs=None):
+    runs = [run_pair(a, b, scale) for a, b in (pairs or EST_PAIRS)]
+    return sorted(runs, key=lambda r: r.space_mbp2)
+
+
+def make_figure(scale: float, pairs=None) -> str:
+    runs = collect(scale, pairs)
+    series = {
+        "SCORIS-N": [(r.space_mbp2, r.oris_seconds) for r in runs],
+        "BLASTN": [(r.space_mbp2, r.blast_seconds) for r in runs],
+    }
+    out = ascii_series_plot(
+        series,
+        x_label="search space (paper Mbp x Mbp)",
+        y_label="time (s, scaled banks)",
+    )
+    rows = [
+        (f"{r.name1} vs {r.name2}", r.space_mbp2, r.oris_seconds, r.blast_seconds)
+        for r in runs
+    ]
+    out += render_table(
+        ["banks", "space (Mbp^2)", "SCORIS-N (s)", "BLASTN (s)"],
+        rows,
+        title="\nFigure 3 data points",
+    )
+    return out
+
+
+def check_shape(runs) -> None:
+    """The figure's claims: ORIS below BLASTN; gap grows with space."""
+    assert all(r.oris_seconds < r.blast_seconds for r in runs), "ORIS must win"
+    gaps = [r.blast_seconds - r.oris_seconds for r in runs]
+    assert gaps[-1] > gaps[0], "gap must grow with search space"
+
+
+def bench_fig3_shape_quick(benchmark):
+    """Whole-figure shape check on the three smallest pairs (quick)."""
+
+    def run():
+        runs = collect(QUICK_SCALE, EST_PAIRS[:3])
+        check_shape(runs)
+        return runs
+
+    runs = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(runs) == 3
+
+
+def main() -> None:
+    text = make_figure(FULL_SCALE)
+    print_and_return(text)
+    check_shape(collect(FULL_SCALE))
+    print_and_return("shape check: ORIS below BLASTN everywhere, gap widens: OK\n")
+
+
+if __name__ == "__main__":
+    main()

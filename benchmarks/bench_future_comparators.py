@@ -1,0 +1,122 @@
+"""The paper's deferred comparison: ORIS vs the in-memory-indexing family.
+
+Section 4: "Comparing SCORIS-N with other programs which have also been
+designed for dealing with large DNA sequences and which also handle
+sequence indexing into main memory (BLAT [9], FLASH [6], BLASTZ [10])".
+This bench runs that comparison on two representative workloads -- an
+EST x EST pairing (dense short homologies) and a diverged genome pair
+(long gapped homologies) -- across all four engines of this library.
+
+All engines share banks, scoring, statistics and the gapped stage, so
+rows differ by seeding/indexing policy only:
+
+* ORIS: both banks indexed, ascending-code enumeration + ordered cutoff;
+* BLASTN-like: per-query lookup tables, full subject rescan per query;
+* BLAT-like: subject indexed once on NON-overlapping 11-mers;
+* BLASTZ-like: both banks indexed on the spaced 12-of-19 seed + chaining.
+
+    python benchmarks/bench_future_comparators.py
+    pytest benchmarks/bench_future_comparators.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _shared import FULL_SCALE, QUICK_SCALE, _cached_bank, print_and_return
+from repro.baselines import (
+    BlastnEngine,
+    BlastnParams,
+    BlastzEngine,
+    BlastzParams,
+    BlatEngine,
+    BlatParams,
+)
+from repro.core import OrisEngine, OrisParams
+from repro.data.synthetic import mutate, random_dna
+from repro.eval import query_coverage, render_table
+from repro.io.bank import Bank
+
+ENGINES = (
+    ("ORIS (SCORIS-N)", lambda: OrisEngine(OrisParams())),
+    ("BLASTN-like", lambda: BlastnEngine(BlastnParams())),
+    ("BLAT-like", lambda: BlatEngine(BlatParams())),
+    ("BLASTZ-like", lambda: BlastzEngine(BlastzParams())),
+)
+
+
+def genome_pair(scale: float):
+    rng = np.random.default_rng(2024)
+    n = max(int(2_000_000 * scale), 5_000)
+    g = random_dna(rng, n)
+    m = mutate(rng, g, sub_rate=0.07, indel_rate=0.004)
+    return Bank.from_strings([("G", g)]), Bank.from_strings([("M", m)])
+
+
+def run_workloads(scale: float):
+    workloads = {
+        "EST1 x EST2": (_cached_bank("EST1", scale), _cached_bank("EST2", scale)),
+        "genome pair (7% div)": genome_pair(scale),
+    }
+    rows = []
+    for wname, (b1, b2) in workloads.items():
+        for ename, make in ENGINES:
+            t0 = time.perf_counter()
+            res = make().compare(b1, b2)
+            wall = time.perf_counter() - t0
+            coverage = sum(query_coverage(res.records).values())
+            rows.append((wname, ename, len(res.records), coverage, wall))
+    return rows
+
+
+def make_table(scale: float) -> tuple[str, list]:
+    rows = run_workloads(scale)
+    text = render_table(
+        ["workload", "engine", "records", "covered nt", "time (s)"],
+        rows,
+        title=f"The section-4 comparison: in-memory-indexing engines (scale {scale})",
+    )
+    return text, rows
+
+
+def check_shape(rows) -> None:
+    by = {(w, e): (r, c, t) for w, e, r, c, t in rows}
+    for wname in {w for w, *_ in rows}:
+        oris_cov = by[(wname, "ORIS (SCORIS-N)")][1]
+        blat_cov = by[(wname, "BLAT-like")][1]
+        # BLAT's sparse index must not out-cover full indexing
+        assert blat_cov <= oris_cov * 1.02
+    # On the many-query EST workload ORIS clearly beats the per-query
+    # rescanning baseline; on the single-query genome pair the rescan
+    # penalty vanishes and the two are at parity (shared gapped stage
+    # dominates), so only near-parity is asserted there.
+    assert (
+        by[("EST1 x EST2", "ORIS (SCORIS-N)")][2]
+        < by[("EST1 x EST2", "BLASTN-like")][2]
+    )
+    g = "genome pair (7% div)"
+    assert by[(g, "ORIS (SCORIS-N)")][2] <= by[(g, "BLASTN-like")][2] * 1.15
+
+
+def bench_all_engines_est_quick(benchmark):
+    b1 = _cached_bank("EST1", QUICK_SCALE)
+    b2 = _cached_bank("EST2", QUICK_SCALE)
+
+    def run():
+        return [make().compare(b1, b2) for _, make in ENGINES]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(r.records for r in results)
+
+
+def main() -> None:
+    text, rows = make_table(FULL_SCALE)
+    print_and_return(text)
+    check_shape(rows)
+    print_and_return("shape check: full-index coverage >= BLAT, ORIS faster than rescan: OK\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Experiment: the paper's index memory claim (section 3.1).
+
+"The index structure required for storing a bank of size N ... is
+approximately equal to 5 x N bytes.  Comparing, for example, two
+chromosomes of 40 MBytes will require, at least, a free memory space of
+400 MBytes."
+
+This bench measures the figure-2 index layout on each scaled bank and
+reports bytes per nucleotide alongside the claim; it also times index
+construction (both layouts).
+
+    python benchmarks/bench_index_memory.py
+    pytest benchmarks/bench_index_memory.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from _shared import FULL_SCALE, QUICK_SCALE, _cached_bank, print_and_return
+from repro.eval import render_table
+from repro.index import CsrSeedIndex, LinkedSeedIndex, index_memory_report, predicted_bytes
+
+BANKS = ("EST1", "EST5", "VRL", "BCT", "H19")
+
+
+def make_table(scale: float, banks=BANKS) -> tuple[str, list]:
+    rows = []
+    for name in banks:
+        bank = _cached_bank(name, scale)
+        rep = index_memory_report(bank, w=11)
+        rows.append(
+            (
+                name,
+                bank.size_nt,
+                rep.index_bytes + rep.seq_bytes,
+                rep.bytes_per_nt_excluding_dictionary,
+                rep.total_bytes,
+                predicted_bytes(bank.size_nt, 11),
+            )
+        )
+    text = render_table(
+        [
+            "bank",
+            "N (nt)",
+            "N-proportional bytes",
+            "bytes/nt",
+            "total bytes",
+            "paper model 5N+dict",
+        ],
+        rows,
+        title=f"Index memory vs the paper's 5N-byte claim (scale {scale})",
+    )
+    return text, rows
+
+
+def check_shape(rows) -> None:
+    for name, n, _, per_nt, total, predicted in rows:
+        assert abs(per_nt - 5.0) < 0.2, f"{name}: {per_nt:.2f} bytes/nt"
+        assert abs(total - predicted) / predicted < 0.02
+
+
+def bench_linked_index_build(benchmark):
+    bank = _cached_bank("EST1", QUICK_SCALE)
+    idx = benchmark.pedantic(
+        lambda: LinkedSeedIndex.build(bank, 11), rounds=2, iterations=1
+    )
+    assert idx.n_indexed > 0
+
+
+def bench_csr_index_build(benchmark):
+    bank = _cached_bank("EST1", QUICK_SCALE)
+    idx = benchmark.pedantic(lambda: CsrSeedIndex(bank, 11), rounds=3, iterations=1)
+    assert idx.n_indexed > 0
+
+
+def main() -> None:
+    text, rows = make_table(FULL_SCALE)
+    print_and_return(text)
+    check_shape(rows)
+    print_and_return("shape check: ~5 bytes/nt, prediction tracks: OK\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Experiment: paper Table 1 (section 3.2) -- the data-set inventory.
+
+Regenerates the synthetic equivalents of the paper's eleven banks and
+prints their characteristics next to the paper's, verifying that the
+scaled generation preserves the sequence-count/size structure.
+
+    python benchmarks/bench_table1_datasets.py          # full table
+    pytest benchmarks/bench_table1_datasets.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from _shared import FULL_SCALE, QUICK_SCALE, print_and_return
+from repro.data import PAPER_BANKS, load_bank, table1_rows
+from repro.eval import render_table
+
+
+def bench_generate_est_bank(benchmark):
+    """Time the generation of one EST bank (quick scale)."""
+    bank = benchmark.pedantic(
+        lambda: load_bank("EST1", scale=QUICK_SCALE), rounds=3, iterations=1
+    )
+    assert bank.size_nt > 0
+
+
+def bench_generate_chromosome(benchmark):
+    """Time the generation of a chromosome-like bank (quick scale)."""
+    bank = benchmark.pedantic(
+        lambda: load_bank("H19", scale=QUICK_SCALE), rounds=3, iterations=1
+    )
+    assert bank.n_sequences <= PAPER_BANKS["H19"].n_seq
+
+
+def make_table(scale: float) -> str:
+    rows = []
+    for name, origin, pn, pm, on, om in table1_rows(scale=scale):
+        rows.append((name, origin, pn, pm, on, round(om * 1000, 1)))
+    return render_table(
+        ["Bank", "Origin", "paper nb.seq", "paper Mbp", "ours nb.seq", "ours kbp"],
+        rows,
+        title=f"Table 1 -- data sets (scale {scale})",
+    )
+
+
+def main() -> None:
+    print_and_return(make_table(FULL_SCALE))
+
+
+if __name__ == "__main__":
+    main()

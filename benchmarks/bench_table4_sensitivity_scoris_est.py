@@ -1,0 +1,115 @@
+"""Experiment: paper Table 4 (section 3.4) -- SCORISmiss on EST pairs.
+
+For each EST pairing the paper counts BLtotal (alignments BLASTN found),
+SCmiss (of those, how many SCORIS-N lacks an 80 %-overlap equivalent for)
+and the ratio SCORISmiss = SCmiss/BLtotal, reporting 2.67-3.90 %.
+
+Here both engines are our own (same substrate), so the gap measures the
+ordered-seed algorithm's intrinsic misses (cutoff borderline cases,
+threshold-edge e-values) without NCBI-vs-prototype implementation noise;
+expect small single-digit percentages, usually below the paper's.
+
+    python benchmarks/bench_table4_sensitivity_scoris_est.py
+    pytest benchmarks/bench_table4_sensitivity_scoris_est.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from _shared import (
+    EST_PAIRS,
+    FULL_SCALE,
+    PAPER_SCORIS_MISS,
+    QUICK_SCALE,
+    print_and_return,
+    run_pair,
+)
+from repro.eval import render_table
+
+#: Table 4 lists seven of the eight timing pairs (EST4 vs EST5 is absent).
+TABLE4_PAIRS = [p for p in EST_PAIRS if p != ("EST4", "EST5")]
+
+
+def make_table(scale: float, pairs=None) -> tuple[str, list]:
+    runs = [run_pair(a, b, scale) for a, b in (pairs or TABLE4_PAIRS)]
+    rows = []
+    reports = []
+    for r in runs:
+        rep = r.sensitivity
+        reports.append(rep)
+        rows.append(
+            (
+                f"{r.name1} vs {r.name2}",
+                rep.bl_total,
+                rep.sc_miss,
+                f"{rep.scoris_miss_pct:.2f} %",
+                f"{PAPER_SCORIS_MISS[(r.name1, r.name2)]:.2f} %",
+            )
+        )
+    text = render_table(
+        ["banks", "BLtotal", "SCmiss", "SCORISmiss", "paper SCORISmiss"],
+        rows,
+        title=f"Table 4 -- missed alignments of SCORIS-N vs BLASTN, EST (scale {scale})",
+    )
+    return text, reports
+
+
+def check_shape(reports) -> None:
+    # the paper's claim: "missed alignments represent a small fraction"
+    assert all(rep.scoris_miss_pct < 10.0 for rep in reports)
+
+
+def bench_table4_one_pair(benchmark):
+    """Sensitivity of one EST pairing (quick scale)."""
+
+    def run():
+        return run_pair("EST1", "EST2", QUICK_SCALE).sensitivity
+
+    rep = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rep.bl_total > 0
+    assert rep.scoris_miss_pct < 10.0
+
+
+def confounder_study(scale: float) -> str:
+    """Reproduce the paper's *sources* of sensitivity difference.
+
+    Our two engines share scoring, filters, thresholds and extension
+    machinery, so the controlled comparison above yields ~0 % misses both
+    ways -- evidence that the ordered-seed rule itself loses nothing, and
+    that the paper's 2.7-3.9 % SCORISmiss stems from the implementation
+    differences it lists (filter variant, retuned extensions, threshold-
+    borderline e-values).  This study reintroduces one such difference --
+    two-hit seeding on the baseline, a real behaviour of NCBI BLASTN --
+    and shows the miss percentages become nonzero immediately.
+    """
+    from _shared import _cached_bank
+    from repro.baselines import BlastnEngine, BlastnParams
+    from repro.core import OrisEngine, OrisParams
+    from repro.eval import compare_outputs
+
+    rows = []
+    for a, b in (("EST1", "EST2"), ("EST3", "EST4")):
+        b1, b2 = _cached_bank(a, scale), _cached_bank(b, scale)
+        oris = OrisEngine(OrisParams()).compare(b1, b2)
+        blast2 = BlastnEngine(BlastnParams(two_hit=True)).compare(b1, b2)
+        rep = compare_outputs(oris.records, blast2.records)
+        rows.append(
+            (f"{a} vs {b}", rep.sc_total, rep.bl_total,
+             f"{rep.scoris_miss_pct:.2f} %", f"{rep.blast_miss_pct:.2f} %")
+        )
+    return render_table(
+        ["banks", "SCtotal", "BLtotal(2-hit)", "SCORISmiss", "BLASTmiss"],
+        rows,
+        title="\nConfounder study: baseline with NCBI-style two-hit seeding",
+    )
+
+
+def main() -> None:
+    text, reports = make_table(FULL_SCALE)
+    print_and_return(text)
+    check_shape(reports)
+    print_and_return("shape check: all SCORISmiss small: OK\n")
+    print_and_return(confounder_study(FULL_SCALE))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Experiment: paper Table 6 (section 3.4) -- SCORISmiss on large banks.
+
+"For this type of treatment, the difference between SCORIS-N and BLASTN
+is small": the paper reports SCORISmiss of 0.00-0.79 % on the large-bank
+pairings, including an exact 0-alignment agreement on H10 vs BCT.
+
+    python benchmarks/bench_table6_sensitivity_scoris_large.py
+    pytest benchmarks/bench_table6_sensitivity_scoris_large.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from _shared import (
+    FULL_SCALE,
+    PAPER_SCORIS_MISS,
+    QUICK_SCALE,
+    print_and_return,
+    run_pair,
+)
+from repro.eval import render_table
+
+#: Table 6/7 order in the paper.
+TABLE6_PAIRS = [
+    ("BCT", "EST7"),
+    ("BCT", "VRL"),
+    ("H10", "VRL"),
+    ("H19", "VRL"),
+    ("H10", "BCT"),
+    ("H19", "BCT"),
+]
+
+
+def make_table(scale: float, pairs=None) -> tuple[str, list]:
+    runs = [run_pair(a, b, scale) for a, b in (pairs or TABLE6_PAIRS)]
+    rows = []
+    reports = []
+    for r in runs:
+        rep = r.sensitivity
+        reports.append((r, rep))
+        pct = f"{rep.scoris_miss_pct:.2f} %" if rep.bl_total else "-"
+        rows.append(
+            (
+                f"{r.name1} vs {r.name2}",
+                rep.bl_total,
+                rep.sc_miss,
+                pct,
+                f"{PAPER_SCORIS_MISS[(r.name1, r.name2)]:.2f} %",
+            )
+        )
+    text = render_table(
+        ["banks", "BLtotal", "SCmiss", "SCORISmiss", "paper SCORISmiss"],
+        rows,
+        title=f"Table 6 -- missed alignments of SCORIS-N vs BLASTN, large (scale {scale})",
+    )
+    return text, reports
+
+
+def check_shape(reports) -> None:
+    for r, rep in reports:
+        assert rep.scoris_miss_pct < 5.0
+        if (r.name1, r.name2) == ("H10", "BCT"):
+            # the paper's exact zero row
+            assert rep.bl_total == 0 and rep.sc_total == 0
+
+
+def bench_table6_zero_row(benchmark):
+    """The paper's H10-vs-BCT zero-alignment row (quick scale)."""
+
+    def run():
+        return run_pair("H10", "BCT", QUICK_SCALE).sensitivity
+
+    rep = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rep.bl_total == 0 and rep.sc_total == 0
+
+
+def bench_table6_homologous_row(benchmark):
+    """The H19-vs-VRL row (shared viral families; quick scale)."""
+
+    def run():
+        return run_pair("H19", "VRL", QUICK_SCALE).sensitivity
+
+    rep = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rep.bl_total > 0
+    assert rep.scoris_miss_pct < 5.0
+
+
+def main() -> None:
+    text, reports = make_table(FULL_SCALE)
+    print_and_return(text)
+    check_shape(reports)
+    print_and_return("shape check: tiny misses, H10 vs BCT exactly empty: OK\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Experiment: paper Table 7 (section 3.4) -- BLASTmiss on large banks.
+
+The mirror of Table 6 (paper: 0.00-1.42 %).  Shares its cached runs.
+
+    python benchmarks/bench_table7_sensitivity_blast_large.py
+    pytest benchmarks/bench_table7_sensitivity_blast_large.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from _shared import (
+    FULL_SCALE,
+    PAPER_BLAST_MISS,
+    QUICK_SCALE,
+    print_and_return,
+    run_pair,
+)
+from bench_table6_sensitivity_scoris_large import TABLE6_PAIRS
+from repro.eval import render_table
+
+
+def make_table(scale: float, pairs=None) -> tuple[str, list]:
+    runs = [run_pair(a, b, scale) for a, b in (pairs or TABLE6_PAIRS)]
+    rows = []
+    reports = []
+    for r in runs:
+        rep = r.sensitivity
+        reports.append((r, rep))
+        pct = f"{rep.blast_miss_pct:.2f} %" if rep.sc_total else "-"
+        rows.append(
+            (
+                f"{r.name1} vs {r.name2}",
+                rep.sc_total,
+                rep.bl_miss,
+                pct,
+                f"{PAPER_BLAST_MISS[(r.name1, r.name2)]:.2f} %",
+            )
+        )
+    text = render_table(
+        ["banks", "SCtotal", "BLmiss", "BLASTmiss", "paper BLASTmiss"],
+        rows,
+        title=f"Table 7 -- missed alignments of BLASTN vs SCORIS-N, large (scale {scale})",
+    )
+    return text, reports
+
+
+def check_shape(reports) -> None:
+    for r, rep in reports:
+        assert rep.blast_miss_pct < 5.0
+
+
+def bench_table7_one_row(benchmark):
+    """The BCT-vs-VRL row (quick scale)."""
+
+    def run():
+        return run_pair("BCT", "VRL", QUICK_SCALE).sensitivity
+
+    rep = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rep.blast_miss_pct < 5.0
+
+
+def main() -> None:
+    text, reports = make_table(FULL_SCALE)
+    print_and_return(text)
+    check_shape(reports)
+    print_and_return("shape check: all BLASTmiss small: OK\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Run every paper-table/figure bench at full scale in one process.
+
+Sharing one process lets the (pair, scale) result cache serve all the
+tables that reuse the same comparisons (Tables 2/4/5 and 3/6/7 pair up,
+Figure 3 shares Table 2's runs), roughly halving the total wall time of
+the full reproduction sweep.
+
+    python benchmarks/run_all.py [--quick]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import bench_table1_datasets
+import bench_fig3_exec_time
+import bench_table2_speedup_est
+import bench_table3_speedup_large
+import bench_table4_sensitivity_scoris_est
+import bench_table5_sensitivity_blast_est
+import bench_table6_sensitivity_scoris_large
+import bench_table7_sensitivity_blast_large
+import bench_index_memory
+
+MODULES = [
+    ("Table 1", bench_table1_datasets),
+    ("Figure 3", bench_fig3_exec_time),
+    ("Table 2", bench_table2_speedup_est),
+    ("Table 3", bench_table3_speedup_large),
+    ("Table 4", bench_table4_sensitivity_scoris_est),
+    ("Table 5", bench_table5_sensitivity_blast_est),
+    ("Table 6", bench_table6_sensitivity_scoris_large),
+    ("Table 7", bench_table7_sensitivity_blast_large),
+    ("Index memory", bench_index_memory),
+]
+
+
+def main() -> None:
+    t0 = time.perf_counter()
+    for label, module in MODULES:
+        print(f"\n{'=' * 72}\n## {label} ({module.__name__})\n{'=' * 72}")
+        module.main()
+    print(f"\nfull reproduction sweep: {time.perf_counter() - t0:.0f} s")
+
+
+if __name__ == "__main__":
+    main()

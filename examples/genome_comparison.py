@@ -1,0 +1,97 @@
+"""Genome-vs-genome comparison with conserved-segment reporting.
+
+The paper's conclusion targets "pairwise comparisons on larger sequences
+(full genomes)".  This example builds a bacterial-chromosome-like genome
+and a rearranged, diverged relative, compares them with the ORIS engine
+on BOTH strands (the paper's announced next-release feature, implemented
+here), reconstructs the conserved segments, and draws an ASCII dot plot
+of the synteny map.
+
+Run:  python examples/genome_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import OrisEngine, OrisParams
+from repro.data.synthetic import make_genome, mutate, random_dna
+from repro.encoding import decode, encode, reverse_complement
+from repro.io.bank import Bank
+
+
+def build_pair(rng):
+    """An ancestor genome and a rearranged relative with one inversion."""
+    n = 40_000
+    # No interspersed repeats here: a repeat copy outside the inversion
+    # aligns against inverted copies inside it, which would blur the
+    # synteny signal this example asserts on.
+    genome = make_genome(rng, n, n_repeat_families=0, n_lc_tracts=3,
+                         name="ancestor")
+    seq = genome.sequence_str(0)
+    # Relative: three blocks, the middle one INVERTED (reverse-complement),
+    # then global divergence.
+    a, b = n // 3, 2 * n // 3
+    middle_rc = decode(reverse_complement(encode(seq[a:b])))
+    rearranged = seq[:a] + middle_rc + seq[b:]
+    diverged = mutate(rng, rearranged, sub_rate=0.04, indel_rate=0.004)
+    relative = Bank.from_strings([("relative", diverged)])
+    return genome, relative, (a, b)
+
+
+def dot_plot(records, len1: int, len2: int, width: int = 64, height: int = 24) -> str:
+    """ASCII dot plot: '+' plus-strand alignments, 'x' minus-strand."""
+    grid = [[" "] * width for _ in range(height)]
+    for rec in records:
+        q_lo, q_hi = rec.q_span
+        s_lo, s_hi = rec.s_span
+        steps = max((q_hi - q_lo) // 200, 1)
+        for t in range(steps + 1):
+            q = q_lo + (q_hi - q_lo) * t // max(steps, 1)
+            if rec.minus_strand:
+                s = s_hi - (s_hi - s_lo) * t // max(steps, 1)
+                mark = "x"
+            else:
+                s = s_lo + (s_hi - s_lo) * t // max(steps, 1)
+                mark = "+"
+            col = min(int(q / len1 * (width - 1)), width - 1)
+            row = min(int(s / len2 * (height - 1)), height - 1)
+            grid[height - 1 - row][col] = mark
+    lines = ["relative ^  ('+' = plus strand, 'x' = inverted)"]
+    lines += ["|" + "".join(r) for r in grid]
+    lines.append("+" + "-" * width + "> ancestor")
+    return "\n".join(lines) + "\n"
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    genome, relative, (a, b) = build_pair(rng)
+    print(f"ancestor: {genome.size_nt/1e3:.0f} kbp; relative: "
+          f"{relative.size_nt/1e3:.0f} kbp; inverted block: [{a}, {b})")
+
+    result = OrisEngine(OrisParams(strand="both", max_evalue=1e-10)).compare(
+        genome, relative
+    )
+    plus = [r for r in result.records if not r.minus_strand]
+    minus = [r for r in result.records if r.minus_strand]
+    print(f"alignments: {len(plus)} plus-strand, {len(minus)} minus-strand")
+
+    print(dot_plot(result.records, genome.size_nt, relative.size_nt))
+
+    # Conserved coverage per strand region: the inverted middle should be
+    # recovered on the minus strand, the flanks on the plus strand.
+    minus_cov = sum(r.length for r in minus)
+    plus_cov = sum(r.length for r in plus)
+    print(f"coverage: plus {plus_cov} nt, minus {minus_cov} nt")
+    assert minus_cov > (b - a) * 0.5, "inversion should be found on minus strand"
+    assert plus_cov > (genome.size_nt - (b - a)) * 0.5
+    # Minus-strand alignments should sit inside the inverted block.
+    in_block = sum(
+        1 for r in minus if a - 500 <= r.q_span[0] and r.q_span[1] <= b + 500
+    )
+    assert in_block >= len(minus) * 0.9
+    print("synteny map matches the engineered rearrangement")
+
+
+if __name__ == "__main__":
+    main()

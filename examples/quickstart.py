@@ -1,0 +1,60 @@
+"""Quickstart: compare two small DNA banks with the ORIS engine.
+
+Builds two in-memory banks that share an implanted homologous region,
+runs the ORIS comparison with the paper's defaults (W = 11, DUST filter,
+e-value threshold 1e-3, single strand), and prints the BLAST ``-m 8``
+records plus the engine's step timings and work counters.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Bank, OrisEngine, OrisParams
+from repro.data.synthetic import mutate, random_dna
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # A shared "gene" implanted into two otherwise unrelated sequences,
+    # with 3% substitutions and a few indels between the copies.
+    gene = random_dna(rng, 400)
+    query = random_dna(rng, 300) + gene + random_dna(rng, 300)
+    subject = (
+        random_dna(rng, 150)
+        + mutate(rng, gene, sub_rate=0.03, indel_rate=0.003)
+        + random_dna(rng, 450)
+    )
+
+    bank1 = Bank.from_strings([("my_query", query)])
+    bank2 = Bank.from_strings([("my_subject", subject)])
+
+    engine = OrisEngine(OrisParams())  # the paper's defaults
+    result = engine.compare(bank1, bank2)
+
+    print("# query id, subject id, %identity, length, mismatches, gap "
+          "openings, q.start, q.end, s.start, s.end, e-value, bit score")
+    for record in result.records:
+        print(record.to_line())
+
+    t = result.timings
+    c = result.counters
+    print()
+    print(f"pipeline: index {t.index*1e3:.1f} ms | ungapped {t.ungapped*1e3:.1f} ms"
+          f" | gapped {t.gapped*1e3:.1f} ms | display {t.display*1e3:.1f} ms")
+    print(f"work: {c.n_pairs} hit pairs -> {c.n_cut} cut by the ordered-seed "
+          f"rule -> {c.n_hsps} unique HSPs -> {c.n_alignments} alignments "
+          f"-> {c.n_records} reported")
+
+    # The homology was implanted at query offset 300, subject offset 150.
+    top = result.records[0]
+    assert abs(top.q_start - 301) < 20, "expected the implanted gene"
+    assert abs(top.s_start - 151) < 20
+    print("\nfound the implanted 400-nt gene, as expected")
+
+
+if __name__ == "__main__":
+    main()

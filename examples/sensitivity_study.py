@@ -1,0 +1,94 @@
+"""Sensitivity study: seed engines vs exact Smith-Waterman ground truth.
+
+The paper evaluates sensitivity *relatively* (SCORIS-N vs BLASTN).  With
+the optimal aligners available as substrates, this example measures both
+engines against absolute ground truth instead: implant homologies at a
+sweep of divergence levels, confirm each is recoverable by Smith-Waterman,
+and record which engines still find it.  This reproduces the paper's
+qualitative observation that misses concentrate in "alignments [that]
+include a significant number of ... substitution errors forbidding other
+11-nt seeds to occur", and shows the asymmetric 10-nt mode (section 3.4)
+recovering part of them.
+
+Run:  python examples/sensitivity_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Bank, BlastnEngine, BlastnParams, OrisEngine, OrisParams
+from repro.align.classic import smith_waterman
+from repro.align.scoring import ScoringScheme
+from repro.data.synthetic import mutate, random_dna
+from repro.eval import render_table
+
+DIVERGENCES = (0.02, 0.06, 0.10, 0.14, 0.18)
+TRIALS = 12
+CORE_LEN = 200
+
+
+def implant_trial(rng, divergence: float):
+    core = random_dna(rng, CORE_LEN)
+    diverged = mutate(rng, core, sub_rate=divergence, indel_rate=divergence / 20)
+    s1 = random_dna(rng, 150) + core + random_dna(rng, 150)
+    s2 = random_dna(rng, 100) + diverged + random_dna(rng, 200)
+    return s1, s2
+
+
+def engine_found(records) -> bool:
+    """Did an engine report an alignment covering most of the implant?"""
+    return any(
+        r.length >= CORE_LEN * 0.5 and 100 < r.q_start < 300 for r in records
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    scoring = ScoringScheme()
+    engines = {
+        "ORIS W=11": lambda b1, b2: OrisEngine(OrisParams()).compare(b1, b2),
+        "ORIS asym-10": lambda b1, b2: OrisEngine(
+            OrisParams(asymmetric=True)
+        ).compare(b1, b2),
+        "BLASTN-like": lambda b1, b2: BlastnEngine(BlastnParams()).compare(b1, b2),
+    }
+    rows = []
+    for div in DIVERGENCES:
+        sw_ok = 0
+        found = {name: 0 for name in engines}
+        for _ in range(TRIALS):
+            s1, s2 = implant_trial(rng, div)
+            sw = smith_waterman(s1, s2, scoring)
+            if sw.score < 30:
+                continue  # not recoverable even optimally; skip the trial
+            sw_ok += 1
+            b1 = Bank.from_strings([("q", s1)])
+            b2 = Bank.from_strings([("s", s2)])
+            for name, run in engines.items():
+                if engine_found(run(b1, b2).records):
+                    found[name] += 1
+        rows.append(
+            (
+                f"{div:.0%}",
+                sw_ok,
+                *(f"{found[name]}/{sw_ok}" for name in engines),
+            )
+        )
+    print(
+        render_table(
+            ["divergence", "SW-recoverable", *engines.keys()],
+            rows,
+            title=f"Recall vs Smith-Waterman ground truth "
+            f"({TRIALS} implants of {CORE_LEN} nt per level)",
+        )
+    )
+    print(
+        "reading: at low divergence every engine finds everything; as\n"
+        "substitutions accumulate, 11-nt exact seeds die out first -- the\n"
+        "regime the paper's asymmetric 10-nt indexing was added for."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Diverged-homology search with spaced seeds under ORIS ordering.
+
+The paper's introduction surveys spaced seeds (PatternHunter, Yass) as the
+sensitivity-oriented branch of seed research and presents ORIS as the
+speed-oriented one.  This example runs both on the same diverged genome
+pair -- contiguous W=11 versus PatternHunter's weight-11/span-18 mask --
+showing the spaced seed recovering homology the contiguous seed misses
+once substitutions are dense, with the ordered-seed cutoff (and its
+unique-HSP guarantee) intact in both modes.
+
+Also demonstrates the full-alignment display and the result summaries.
+
+Run:  python examples/spaced_seed_search.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Bank, OrisEngine, OrisParams
+from repro.align.display import render_record
+from repro.data.synthetic import mutate, random_dna
+from repro.encoding import PATTERNHUNTER_11_18
+from repro.eval import query_coverage, summarize
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    genome = random_dna(rng, 25_000)
+    diverged = mutate(rng, genome, sub_rate=0.22, indel_rate=0.002)
+    b1 = Bank.from_strings([("ancestor", genome)])
+    b2 = Bank.from_strings([("diverged", diverged)])
+    print("genome pair at 22% substitution divergence "
+          f"({len(genome)/1e3:.0f} kbp)\n")
+
+    results = {}
+    for label, params in (
+        ("contiguous W=11", OrisParams(w=11, max_evalue=10)),
+        ("PatternHunter 11/18", OrisParams(spaced_seed=PATTERNHUNTER_11_18,
+                                           max_evalue=10)),
+    ):
+        res = OrisEngine(params).compare(b1, b2)
+        results[label] = res
+        cov = query_coverage(res.records).get("ancestor", 0)
+        s = summarize(res.records)
+        print(f"{label}:")
+        print(f"  {s.n_records} records, {cov} nt of the ancestor covered "
+              f"({cov/len(genome):.0%}), mean identity {s.mean_pident:.1f}%")
+        print(f"  seed pairs examined: {res.counters.n_pairs}, "
+              f"cut by ordering: {res.counters.n_cut}, "
+              f"unique HSPs: {res.counters.n_hsps}")
+
+    cov11 = query_coverage(results["contiguous W=11"].records).get("ancestor", 0)
+    covph = query_coverage(results["PatternHunter 11/18"].records).get("ancestor", 0)
+    print(f"\nspaced-seed gain at this divergence: "
+          f"{covph - cov11:+d} nt of coverage")
+
+    # Show one alignment in full (the feature the paper's prototype lacked).
+    best = results["PatternHunter 11/18"].records[0]
+    print("\nbest spaced-seed alignment, full display:\n")
+    print(render_record(best, b1, b2, width=72)[:1400])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so the package installs in environments
+without the `wheel` package (offline): `python setup.py develop` and
+legacy `pip install -e .` both work through this file.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""Alignment substrate: scoring, statistics, extensions, reference DP."""
+
+from .scoring import DEFAULT_SCORING, ScoringScheme
+from .evalue import KarlinAltschul, karlin_params
+from .hsp import HSP, GappedAlignment, HSPTable
+from .ungapped import (
+    CUTOFF,
+    BatchExtensionResult,
+    ExtensionResult,
+    batch_extend,
+    extend_hit_ref,
+    extend_left_ref,
+    extend_right_ref,
+)
+from .gapped import (
+    DEFAULT_BAND_RADIUS,
+    BatchGappedResult,
+    GappedExtension,
+    batch_gapped_extend,
+    gapped_extend_ref,
+)
+from .classic import (
+    AlignmentPath,
+    gotoh_local,
+    local_score_matrix,
+    needleman_wunsch,
+    smith_waterman,
+)
+from .records import alignments_to_m8, sort_records
+from .display import AlignmentBlock, render_alignment, render_record
+from .chaining import Chain, ChainingParams, chain_hsps
+
+__all__ = [
+    "DEFAULT_SCORING",
+    "ScoringScheme",
+    "KarlinAltschul",
+    "karlin_params",
+    "HSP",
+    "GappedAlignment",
+    "HSPTable",
+    "CUTOFF",
+    "BatchExtensionResult",
+    "ExtensionResult",
+    "batch_extend",
+    "extend_hit_ref",
+    "extend_left_ref",
+    "extend_right_ref",
+    "DEFAULT_BAND_RADIUS",
+    "BatchGappedResult",
+    "GappedExtension",
+    "batch_gapped_extend",
+    "gapped_extend_ref",
+    "AlignmentPath",
+    "gotoh_local",
+    "local_score_matrix",
+    "needleman_wunsch",
+    "smith_waterman",
+    "alignments_to_m8",
+    "sort_records",
+    "AlignmentBlock",
+    "render_alignment",
+    "render_record",
+    "Chain",
+    "ChainingParams",
+    "chain_hsps",
+]

@@ -1,0 +1,277 @@
+"""Reference optimal aligners: Needleman-Wunsch, Smith-Waterman, Gotoh.
+
+The paper's introduction traces seed heuristics back to these dynamic
+programming algorithms ([1] Needleman & Wunsch 1970 global alignment,
+[2] Smith & Waterman 1981 local alignment, [3] Gotoh 1982 affine gaps) and
+positions ORIS as a fast approximation of them.  This module implements all
+three, for two purposes:
+
+* as substrates the paper's narrative depends on ("this family of
+  algorithms is optimal: they provide the best alignments") -- the
+  sensitivity example compares seed-heuristic output against
+  Smith-Waterman ground truth;
+* as oracles for the test suite: any HSP or gapped alignment an engine
+  reports can never out-score the corresponding optimal DP.
+
+These are quadratic and row-vectorised with NumPy: fine for the kilobase
+sequences used in tests and examples, deliberately not for whole banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..encoding import INVALID, encode
+from .scoring import ScoringScheme
+
+__all__ = [
+    "AlignmentPath",
+    "needleman_wunsch",
+    "smith_waterman",
+    "gotoh_local",
+    "local_score_matrix",
+]
+
+_NEG = -(1 << 40)
+
+
+@dataclass(frozen=True, slots=True)
+class AlignmentPath:
+    """An explicit pairwise alignment.
+
+    ``aligned1``/``aligned2`` are equal-length strings over ``ACGTN-``;
+    ``start1``/``start2`` are the 0-based offsets of the first aligned
+    character in each input (both 0 for global alignment).
+    """
+
+    score: int
+    start1: int
+    start2: int
+    aligned1: str
+    aligned2: str
+
+    @property
+    def length(self) -> int:
+        return len(self.aligned1)
+
+    @property
+    def matches(self) -> int:
+        return sum(
+            1
+            for a, b in zip(self.aligned1, self.aligned2)
+            if a == b and a != "-"
+        )
+
+    @property
+    def end1(self) -> int:
+        """0-based exclusive end offset in sequence 1."""
+        return self.start1 + sum(1 for a in self.aligned1 if a != "-")
+
+    @property
+    def end2(self) -> int:
+        return self.start2 + sum(1 for b in self.aligned2 if b != "-")
+
+
+def _as_codes(seq) -> np.ndarray:
+    if isinstance(seq, str):
+        return encode(seq)
+    return np.asarray(seq, dtype=np.int8)
+
+
+def _decode_char(code: int) -> str:
+    return "ACTGN"[min(int(code), INVALID)]
+
+
+def _sub_matrix(c1: np.ndarray, c2: np.ndarray, scoring: ScoringScheme) -> np.ndarray:
+    """(n1, n2) substitution scores; invalid characters never match."""
+    eq = (c1[:, None] == c2[None, :]) & (c1[:, None] < INVALID) & (c2[None, :] < INVALID)
+    return np.where(eq, scoring.match, -scoring.mismatch).astype(np.int64)
+
+
+def needleman_wunsch(seq1, seq2, scoring: ScoringScheme = ScoringScheme()) -> AlignmentPath:
+    """Global alignment with linear gap costs (``gap_open`` per column).
+
+    Linear costs match the engine's gapped stage (see
+    :mod:`repro.align.gapped`); use :func:`gotoh_local` for affine costs.
+    """
+    c1, c2 = _as_codes(seq1), _as_codes(seq2)
+    n1, n2 = len(c1), len(c2)
+    gap = scoring.gap_open
+    sub = _sub_matrix(c1, c2, scoring)
+
+    H = np.zeros((n1 + 1, n2 + 1), dtype=np.int64)
+    H[:, 0] = -gap * np.arange(n1 + 1)
+    H[0, :] = -gap * np.arange(n2 + 1)
+    for i in range(1, n1 + 1):
+        diag = H[i - 1, :-1] + sub[i - 1]
+        up = H[i - 1, 1:] - gap
+        best = np.maximum(diag, up)
+        # Left moves resolved sequentially (short rows in test usage).
+        row = H[i]
+        prev = row[0]
+        for j in range(1, n2 + 1):
+            v = best[j - 1]
+            left = prev - gap
+            prev = v if v >= left else left
+            row[j] = prev
+
+    # Traceback.
+    a1: list[str] = []
+    a2: list[str] = []
+    i, j = n1, n2
+    while i > 0 or j > 0:
+        if i > 0 and j > 0 and H[i, j] == H[i - 1, j - 1] + sub[i - 1, j - 1]:
+            a1.append(_decode_char(c1[i - 1]))
+            a2.append(_decode_char(c2[j - 1]))
+            i -= 1
+            j -= 1
+        elif i > 0 and H[i, j] == H[i - 1, j] - gap:
+            a1.append(_decode_char(c1[i - 1]))
+            a2.append("-")
+            i -= 1
+        else:
+            a1.append("-")
+            a2.append(_decode_char(c2[j - 1]))
+            j -= 1
+    return AlignmentPath(
+        score=int(H[n1, n2]),
+        start1=0,
+        start2=0,
+        aligned1="".join(reversed(a1)),
+        aligned2="".join(reversed(a2)),
+    )
+
+
+def local_score_matrix(seq1, seq2, scoring: ScoringScheme = ScoringScheme()) -> np.ndarray:
+    """Smith-Waterman H matrix with linear gap costs (no traceback).
+
+    Exposed separately because several tests only need the optimal local
+    score, which is ``H.max()``.
+    """
+    c1, c2 = _as_codes(seq1), _as_codes(seq2)
+    n1, n2 = len(c1), len(c2)
+    gap = scoring.gap_open
+    sub = _sub_matrix(c1, c2, scoring)
+    H = np.zeros((n1 + 1, n2 + 1), dtype=np.int64)
+    for i in range(1, n1 + 1):
+        diag = H[i - 1, :-1] + sub[i - 1]
+        up = H[i - 1, 1:] - gap
+        best = np.maximum(np.maximum(diag, up), 0)
+        row = H[i]
+        prev = np.int64(0)
+        for j in range(1, n2 + 1):
+            v = best[j - 1]
+            left = prev - gap
+            prev = max(v, left, 0)
+            row[j] = prev
+    return H
+
+
+def smith_waterman(seq1, seq2, scoring: ScoringScheme = ScoringScheme()) -> AlignmentPath:
+    """Optimal local alignment, linear gap costs, with traceback."""
+    c1, c2 = _as_codes(seq1), _as_codes(seq2)
+    gap = scoring.gap_open
+    sub = _sub_matrix(c1, c2, scoring)
+    H = local_score_matrix(seq1, seq2, scoring)
+    i, j = np.unravel_index(int(np.argmax(H)), H.shape)
+    i, j = int(i), int(j)
+    score = int(H[i, j])
+    a1: list[str] = []
+    a2: list[str] = []
+    while i > 0 and j > 0 and H[i, j] > 0:
+        if H[i, j] == H[i - 1, j - 1] + sub[i - 1, j - 1]:
+            a1.append(_decode_char(c1[i - 1]))
+            a2.append(_decode_char(c2[j - 1]))
+            i -= 1
+            j -= 1
+        elif H[i, j] == H[i - 1, j] - gap:
+            a1.append(_decode_char(c1[i - 1]))
+            a2.append("-")
+            i -= 1
+        else:
+            a1.append("-")
+            a2.append(_decode_char(c2[j - 1]))
+            j -= 1
+    return AlignmentPath(
+        score=score,
+        start1=i,
+        start2=j,
+        aligned1="".join(reversed(a1)),
+        aligned2="".join(reversed(a2)),
+    )
+
+
+def gotoh_local(seq1, seq2, scoring: ScoringScheme = ScoringScheme()) -> AlignmentPath:
+    """Optimal local alignment with affine gaps (Gotoh 1982).
+
+    A length-``g`` gap costs ``gap_open + g * gap_extend``, the scheme's
+    :meth:`~repro.align.scoring.ScoringScheme.gap_cost`.
+    """
+    c1, c2 = _as_codes(seq1), _as_codes(seq2)
+    n1, n2 = len(c1), len(c2)
+    go, ge = scoring.gap_open + scoring.gap_extend, scoring.gap_extend
+    sub = _sub_matrix(c1, c2, scoring)
+
+    H = np.zeros((n1 + 1, n2 + 1), dtype=np.int64)
+    E = np.full((n1 + 1, n2 + 1), _NEG, dtype=np.int64)  # gap in seq1 (left)
+    F = np.full((n1 + 1, n2 + 1), _NEG, dtype=np.int64)  # gap in seq2 (up)
+    for i in range(1, n1 + 1):
+        Fi = np.maximum(H[i - 1] - go, F[i - 1] - ge)
+        F[i] = Fi
+        row = H[i]
+        erow = E[i]
+        prev_h = np.int64(0)
+        prev_e = _NEG
+        diag = H[i - 1, :-1] + sub[i - 1]
+        for j in range(1, n2 + 1):
+            e = max(prev_h - go, prev_e - ge)
+            h = max(int(diag[j - 1]), int(Fi[j]), e, 0)
+            erow[j] = e
+            row[j] = h
+            prev_h = h
+            prev_e = e
+
+    i, j = np.unravel_index(int(np.argmax(H)), H.shape)
+    i, j = int(i), int(j)
+    score = int(H[i, j])
+    a1: list[str] = []
+    a2: list[str] = []
+    state = "H"
+    while i > 0 and j > 0 and not (state == "H" and H[i, j] == 0):
+        if state == "H":
+            if H[i, j] == H[i - 1, j - 1] + sub[i - 1, j - 1]:
+                a1.append(_decode_char(c1[i - 1]))
+                a2.append(_decode_char(c2[j - 1]))
+                i -= 1
+                j -= 1
+            elif H[i, j] == F[i, j]:
+                state = "F"
+            elif H[i, j] == E[i, j]:
+                state = "E"
+            else:  # pragma: no cover - defensive
+                break
+        elif state == "F":
+            a1.append(_decode_char(c1[i - 1]))
+            a2.append("-")
+            if F[i, j] == F[i - 1, j] - ge and F[i - 1, j] > _NEG // 2:
+                i -= 1
+            else:
+                i -= 1
+                state = "H"
+        else:  # state == "E"
+            a1.append("-")
+            a2.append(_decode_char(c2[j - 1]))
+            if E[i, j] == E[i, j - 1] - ge and E[i, j - 1] > _NEG // 2:
+                j -= 1
+            else:
+                j -= 1
+                state = "H"
+    return AlignmentPath(
+        score=score,
+        start1=i,
+        start2=j,
+        aligned1="".join(reversed(a1)),
+        aligned2="".join(reversed(a2)),
+    )

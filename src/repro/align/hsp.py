@@ -1,0 +1,174 @@
+"""HSP and gapped-alignment containers.
+
+Step 2 of the ORIS algorithm produces *HSPs* (high scoring pairs: ungapped
+local alignments) "sorted by diagonal number to optimize data access of the
+next step" (section 2.2); step 3 turns them into gapped alignments kept in
+the same diagonal order (section 2.3).  This module provides both the
+scalar dataclasses used at API boundaries and the columnar
+:class:`HSPTable` the vectorised engine works with.
+
+Coordinates throughout are *global* positions into a bank's concatenated
+array, half-open ``[start, end)``; the *diagonal number* of a pair of
+positions is ``pos2 - pos1`` (constant along an ungapped alignment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["HSP", "GappedAlignment", "HSPTable"]
+
+
+@dataclass(frozen=True, slots=True)
+class HSP:
+    """An ungapped alignment between two banks (global coordinates).
+
+    ``start1/end1`` and ``start2/end2`` are half-open ranges of equal
+    length; ``score`` is the raw ungapped score; ``diag`` is redundant
+    (``start2 - start1``) but stored because every downstream consumer
+    keys on it.
+    """
+
+    start1: int
+    end1: int
+    start2: int
+    end2: int
+    score: int
+
+    def __post_init__(self) -> None:
+        if self.end1 - self.start1 != self.end2 - self.start2:
+            raise ValueError("ungapped HSP ranges must have equal length")
+        if self.end1 <= self.start1:
+            raise ValueError("HSP must have positive length")
+
+    @property
+    def length(self) -> int:
+        return self.end1 - self.start1
+
+    @property
+    def diag(self) -> int:
+        """Diagonal number, the paper's step-2/3 sort key."""
+        return self.start2 - self.start1
+
+    def overlaps(self, other: "HSP") -> bool:
+        """True if the two HSPs share any aligned column (same diagonal)."""
+        return (
+            self.diag == other.diag
+            and self.start1 < other.end1
+            and other.start1 < self.end1
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class GappedAlignment:
+    """A gapped local alignment in global bank coordinates.
+
+    In addition to the coordinate box and score it records the column
+    statistics (matches / mismatches / gap columns / gap openings) needed
+    to emit an ``-m 8`` line, and the diagonal range spanned
+    (``min_diag``/``max_diag``), which step 3 uses for its containment
+    test.
+    """
+
+    start1: int
+    end1: int
+    start2: int
+    end2: int
+    score: int
+    matches: int
+    mismatches: int
+    gap_columns: int
+    gap_openings: int
+    min_diag: int
+    max_diag: int
+
+    @property
+    def length(self) -> int:
+        """Alignment length in columns (the ``-m 8`` "length" field)."""
+        return self.matches + self.mismatches + self.gap_columns
+
+    @property
+    def pident(self) -> float:
+        """Percent identity over alignment columns."""
+        n = self.length
+        return 100.0 * self.matches / n if n else 0.0
+
+    def contains_hsp(self, start1: int, end1: int, diag: int) -> bool:
+        """Cheap containment test used by step 3 (see engine docs)."""
+        return (
+            self.min_diag <= diag <= self.max_diag
+            and self.start1 <= start1
+            and end1 <= self.end1
+        )
+
+
+class HSPTable:
+    """Columnar storage for HSPs (structure-of-arrays).
+
+    The vectorised step 2 appends chunks of HSPs as NumPy arrays; at the
+    end :meth:`sorted_by_diagonal` produces the diagonal-major ordering the
+    paper's step 3 requires.
+    """
+
+    __slots__ = ("_chunks",)
+
+    def __init__(self) -> None:
+        self._chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+
+    def append_chunk(
+        self,
+        start1: np.ndarray,
+        end1: np.ndarray,
+        start2: np.ndarray,
+        score: np.ndarray,
+    ) -> None:
+        """Append HSPs given as equal-length arrays.
+
+        ``end2`` is implied (ungapped alignments have equal lengths).
+        """
+        if not (start1.shape == end1.shape == start2.shape == score.shape):
+            raise ValueError("HSP chunk arrays must have identical shapes")
+        if start1.size:
+            self._chunks.append(
+                (
+                    np.asarray(start1, dtype=np.int64),
+                    np.asarray(end1, dtype=np.int64),
+                    np.asarray(start2, dtype=np.int64),
+                    np.asarray(score, dtype=np.int64),
+                )
+            )
+
+    def __len__(self) -> int:
+        return sum(c[0].shape[0] for c in self._chunks)
+
+    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated (start1, end1, start2, score) arrays."""
+        if not self._chunks:
+            z = np.empty(0, dtype=np.int64)
+            return z, z.copy(), z.copy(), z.copy()
+        return tuple(  # type: ignore[return-value]
+            np.concatenate([c[i] for c in self._chunks]) for i in range(4)
+        )
+
+    def sorted_by_diagonal(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(start1, end1, start2, score, diag) sorted by (diag, start1).
+
+        This realises the paper's "sorting the HSPs by diagonal number"
+        hand-off between step 2 and step 3.
+        """
+        s1, e1, s2, sc = self.columns()
+        diag = s2 - s1
+        order = np.lexsort((s1, diag))
+        return s1[order], e1[order], s2[order], sc[order], diag[order]
+
+    def to_hsps(self) -> list[HSP]:
+        """Materialise as scalar :class:`HSP` objects (diagonal order)."""
+        s1, e1, s2, sc, _ = self.sorted_by_diagonal()
+        return [
+            HSP(int(a), int(b), int(c), int(c + (b - a)), int(s))
+            for a, b, c, s in zip(s1, e1, s2, sc)
+        ]

@@ -1,0 +1,79 @@
+"""Scoring parameters shared by every engine in the reproduction.
+
+The paper's pseudo-code (section 2.2) scores ungapped extensions with
+``+MATCH`` / ``-MISMATCH`` and controls them with an ``XDROP`` threshold;
+the gapped stage (section 2.3) is "controlled by an XDROP value" as well.
+The concrete values are not printed in the paper; we default to the
+classic NCBI BLASTN nucleotide scheme the paper benchmarks against
+(match +1, mismatch -3, gap open -5, gap extend -2), with x-drops in the
+same raw-score units.
+
+All penalties are stored as positive magnitudes, mirroring the paper's
+``score = score - MISMATCH`` convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ScoringScheme", "DEFAULT_SCORING"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScoringScheme:
+    """Match/mismatch/gap scores and x-drop thresholds.
+
+    Attributes
+    ----------
+    match:
+        Score added per identical pair (> 0).
+    mismatch:
+        Penalty subtracted per substitution (> 0).
+    gap_open:
+        Penalty for opening a gap (> 0); a length-``g`` gap costs
+        ``gap_open + g * gap_extend`` (affine, Gotoh-style).
+    gap_extend:
+        Penalty per gapped position (> 0).
+    xdrop_ungapped:
+        Stop an ungapped extension once the running score falls this far
+        below the best score seen (the paper's ``XDROP`` in extend_left).
+    xdrop_gapped:
+        Same for the banded gapped extension of step 3.
+    """
+
+    match: int = 1
+    mismatch: int = 3
+    gap_open: int = 5
+    gap_extend: int = 2
+    xdrop_ungapped: int = 16
+    xdrop_gapped: int = 24
+
+    def __post_init__(self) -> None:
+        if self.match <= 0:
+            raise ValueError("match score must be positive")
+        for name in ("mismatch", "gap_open", "gap_extend"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} penalty must be non-negative")
+        if self.mismatch == 0:
+            raise ValueError("mismatch penalty of 0 makes lambda undefined")
+        for name in ("xdrop_ungapped", "xdrop_gapped"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    def gap_cost(self, length: int) -> int:
+        """Total cost of a gap of ``length`` positions (affine)."""
+        if length <= 0:
+            return 0
+        return self.gap_open + length * self.gap_extend
+
+    def seed_score(self, w: int) -> int:
+        """Score of an exact seed of width ``w`` (the extension's origin).
+
+        This is the paper's ``score = SIZE_SEED`` initialisation,
+        generalised to ``match != 1``.
+        """
+        return w * self.match
+
+
+#: The scheme used by all reproduction benches (BLASTN defaults).
+DEFAULT_SCORING = ScoringScheme()

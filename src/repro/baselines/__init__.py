@@ -1,0 +1,16 @@
+"""Baseline engines the ORIS algorithm is compared against."""
+
+from .blastn import BlastnEngine, BlastnParams
+from .blat import BlatEngine, BlatParams
+from .blastz import BLASTZ_SEED, BLASTZ_SEED_TRANSITION, BlastzEngine, BlastzParams
+
+__all__ = [
+    "BlastnEngine",
+    "BlastnParams",
+    "BlatEngine",
+    "BlatParams",
+    "BLASTZ_SEED",
+    "BLASTZ_SEED_TRANSITION",
+    "BlastzEngine",
+    "BlastzParams",
+]

@@ -1,0 +1,214 @@
+"""``scoris-n``: command-line interface to the reproduction.
+
+Mirrors the paper's usage (section 3.1/3.3): two FASTA banks in, BLAST
+``-m 8`` tabular records out, with the paper's defaults (W = 11, e-value
+1e-3, single strand, DUST-like filter).  The reference BLASTN invocation
+the paper compares against --
+
+    blastall -p blastn -d A -i B -o R -m 8 -e 0.001 -S 1
+
+-- maps onto ``scoris-n --engine blastn B A -o R`` (note blastall's -i is
+the query bank).
+
+Examples
+--------
+
+Compare two banks with the ORIS engine::
+
+    scoris-n bank1.fa bank2.fa -o hits.m8
+
+Same comparison with the BLASTN-like baseline, both strands, stats::
+
+    scoris-n bank1.fa bank2.fa --engine blastn --strand both --stats
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .baselines import (
+    BlastnEngine,
+    BlastnParams,
+    BlastzEngine,
+    BlastzParams,
+    BlatEngine,
+    BlatParams,
+)
+from .core import OrisEngine, OrisParams
+from .align.scoring import ScoringScheme
+from .io.bank import Bank
+from .io.m8 import format_m8
+
+__all__ = ["main", "build_parser", "run"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="scoris-n",
+        description="Intensive DNA bank comparison with the ORIS algorithm "
+        "(reproduction of Lavenier, HiCOMB 2008).",
+    )
+    parser.add_argument("bank1", help="first bank (FASTA); the query side")
+    parser.add_argument("bank2", help="second bank (FASTA); the subject side")
+    parser.add_argument(
+        "-o", "--output", default="-",
+        help="output file for -m8 records (default: stdout)",
+    )
+    parser.add_argument(
+        "--engine", choices=("oris", "blastn", "blat", "blastz"), default="oris",
+        help="comparison engine (default: oris)",
+    )
+    parser.add_argument(
+        "-W", "--word-size", type=int, default=11,
+        help="seed width (paper default: 11)",
+    )
+    parser.add_argument(
+        "-e", "--evalue", type=float, default=1e-3,
+        help="report threshold on e-values (paper runs use 1e-3)",
+    )
+    parser.add_argument(
+        "--strand", choices=("plus", "both"), default="plus",
+        help="search single strand (paper prototype) or both",
+    )
+    parser.add_argument(
+        "--filter", choices=("dust", "entropy", "none"), default="dust",
+        dest="filter_kind", help="low-complexity filter before indexing",
+    )
+    parser.add_argument(
+        "--asymmetric", action="store_true",
+        help="ORIS only: the paper's asymmetric 10-nt indexing (section 3.4)",
+    )
+    parser.add_argument(
+        "--spaced-seed", default=None, metavar="MASK",
+        help="ORIS only: spaced-seed mask, e.g. 111010010100110111 "
+        "(PatternHunter weight-11); overrides -W",
+    )
+    parser.add_argument(
+        "--match", type=int, default=1, help="match score (default 1)"
+    )
+    parser.add_argument(
+        "--mismatch", type=int, default=3,
+        help="mismatch penalty, positive (default 3)",
+    )
+    parser.add_argument(
+        "--xdrop", type=int, default=16,
+        help="ungapped extension x-drop (default 16)",
+    )
+    parser.add_argument(
+        "--xdrop-gapped", type=int, default=24,
+        help="gapped extension x-drop (default 24)",
+    )
+    parser.add_argument(
+        "--band-radius", type=int, default=16,
+        help="gapped extension band half-width (default 16)",
+    )
+    parser.add_argument(
+        "--sort", choices=("evalue", "score", "coords"), default="evalue",
+        help="output sort criterion (paper step 4; default evalue)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print per-step timings and work counters to stderr",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    return parser
+
+
+def run(argv: list[str] | None = None) -> int:
+    """Entry point logic; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    scoring = ScoringScheme(
+        match=args.match,
+        mismatch=args.mismatch,
+        xdrop_ungapped=args.xdrop,
+        xdrop_gapped=args.xdrop_gapped,
+    )
+    try:
+        bank1 = Bank.from_fasta(args.bank1)
+        bank2 = Bank.from_fasta(args.bank2)
+    except (OSError, ValueError) as exc:
+        print(f"scoris-n: error reading banks: {exc}", file=sys.stderr)
+        return 2
+
+    if args.engine == "oris":
+        engine = OrisEngine(
+            OrisParams(
+                w=args.word_size,
+                scoring=scoring,
+                filter_kind=args.filter_kind,
+                asymmetric=args.asymmetric,
+                spaced_seed=args.spaced_seed,
+                max_evalue=args.evalue,
+                band_radius=args.band_radius,
+                strand=args.strand,
+                sort_key=args.sort,
+            )
+        )
+    elif args.engine == "blastn":
+        engine = BlastnEngine(
+            BlastnParams(
+                w=args.word_size,
+                scoring=scoring,
+                filter_kind=args.filter_kind,
+                max_evalue=args.evalue,
+                band_radius=args.band_radius,
+                strand=args.strand,
+                sort_key=args.sort,
+            )
+        )
+    elif args.engine == "blat":
+        engine = BlatEngine(
+            BlatParams(
+                k=args.word_size,
+                scoring=scoring,
+                filter_kind=args.filter_kind,
+                max_evalue=args.evalue,
+                band_radius=args.band_radius,
+                sort_key=args.sort,
+            )
+        )
+    else:
+        engine = BlastzEngine(
+            BlastzParams(
+                scoring=scoring,
+                filter_kind=args.filter_kind,
+                max_evalue=args.evalue,
+                band_radius=args.band_radius,
+                sort_key=args.sort,
+            )
+        )
+
+    result = engine.compare(bank1, bank2)
+    text = format_m8(result.records)
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="ascii") as fh:
+            fh.write(text)
+
+    if args.stats:
+        t = result.timings
+        c = result.counters
+        print(
+            f"# step timings (s): index={t.index:.3f} ungapped={t.ungapped:.3f} "
+            f"gapped={t.gapped:.3f} display={t.display:.3f} total={t.total:.3f}",
+            file=sys.stderr,
+        )
+        print(
+            f"# work: pairs={c.n_pairs} cut={c.n_cut} hsps={c.n_hsps} "
+            f"alignments={c.n_alignments} records={c.n_records}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def main() -> None:  # pragma: no cover - thin wrapper
+    sys.exit(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

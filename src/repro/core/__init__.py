@@ -1,0 +1,22 @@
+"""ORIS core: the paper's primary contribution (sections 2 and 4)."""
+
+from .params import DEFAULT_W, OrisParams
+from .engine import ComparisonResult, OrisEngine, StepTimings, WorkCounters
+from .pairs import PairChunk, iter_pair_chunks, segmented_cartesian
+from .containment import AlignmentCatalog
+from .tiled import compare_tiled, iter_subject_tiles
+
+__all__ = [
+    "DEFAULT_W",
+    "OrisParams",
+    "ComparisonResult",
+    "OrisEngine",
+    "StepTimings",
+    "WorkCounters",
+    "PairChunk",
+    "iter_pair_chunks",
+    "segmented_cartesian",
+    "AlignmentCatalog",
+    "compare_tiled",
+    "iter_subject_tiles",
+]

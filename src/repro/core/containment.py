@@ -1,0 +1,99 @@
+"""Step-3 containment bookkeeping (paper section 2.3).
+
+"As a gapped alignment may contain several HSPs, including HSPs detected
+during the step 2, a test is done before starting an extension (line 14,
+fig 1).  A gapped extension will be done only if an HSP does not belong to
+a gapped alignment previously computed ...  This test is fast since both
+HSPs and gapped alignments are sorted using the same criteria (diagonal
+number)."
+
+:class:`AlignmentCatalog` realises that test.  An HSP *belongs to* a stored
+alignment when its diagonal lies within the alignment's diagonal range and
+its bank-1 extent lies within the alignment's bank-1 extent -- the same
+approximation BLAST uses (exact path membership would require keeping the
+tracebacks).  Alignments are hashed into coarse diagonal buckets whose
+width matches the gapped band, so a membership probe touches O(1) buckets,
+preserving the paper's locality argument without requiring the insertion
+order to be perfectly sorted.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..align.hsp import GappedAlignment
+
+__all__ = ["AlignmentCatalog"]
+
+
+class AlignmentCatalog:
+    """Gapped alignments indexed by coarse diagonal buckets."""
+
+    __slots__ = ("_bucket_shift", "_buckets", "_boxes", "alignments")
+
+    def __init__(self, band_radius: int):
+        # Bucket width = one gapped band (2R); an alignment's diagonal
+        # range spans at most 2R+1 diagonals, so it lands in <= 3 buckets
+        # and a probe never needs to look beyond bucket +-1.
+        width = max(2 * band_radius, 8)
+        self._bucket_shift = max(width - 1, 1).bit_length()
+        self._buckets: dict[int, list[int]] = defaultdict(list)
+        self._boxes: set[tuple[int, int, int, int]] = set()
+        self.alignments: list[GappedAlignment] = []
+
+    def __len__(self) -> int:
+        return len(self.alignments)
+
+    def _bucket_range(self, lo_diag: int, hi_diag: int) -> range:
+        return range(lo_diag >> self._bucket_shift, (hi_diag >> self._bucket_shift) + 1)
+
+    def add(self, alignment: GappedAlignment) -> bool:
+        """Store an alignment.  Returns False for an exact duplicate box
+        (same coordinates), which is dropped."""
+        box = (alignment.start1, alignment.end1, alignment.start2, alignment.end2)
+        if box in self._boxes:
+            return False
+        self._boxes.add(box)
+        idx = len(self.alignments)
+        self.alignments.append(alignment)
+        for b in self._bucket_range(alignment.min_diag, alignment.max_diag):
+            self._buckets[b].append(idx)
+        return True
+
+    def covers_hsp(self, start1: int, end1: int, diag: int) -> bool:
+        """Paper line 14: does some stored alignment contain this HSP?"""
+        b = diag >> self._bucket_shift
+        for bucket in (b - 1, b, b + 1):
+            lst = self._buckets.get(bucket)
+            if not lst:
+                continue
+            alignments = self.alignments
+            for idx in lst:
+                if alignments[idx].contains_hsp(start1, end1, diag):
+                    return True
+        return False
+
+    def covers_alignment(self, aln: GappedAlignment) -> bool:
+        """Is *aln* wholly inside some single stored alignment?
+
+        Requires one stored alignment whose diagonal range and both
+        coordinate boxes contain the candidate's.
+        """
+        b = aln.min_diag >> self._bucket_shift
+        for bucket in (b - 1, b, b + 1):
+            lst = self._buckets.get(bucket)
+            if not lst:
+                continue
+            alignments = self.alignments
+            for idx in lst:
+                k = alignments[idx]
+                if (
+                    k.min_diag <= aln.min_diag
+                    and aln.max_diag <= k.max_diag
+                    and k.start1 <= aln.start1
+                    and aln.end1 <= k.end1
+                    and k.start2 <= aln.start2
+                    and aln.end2 <= k.end2
+                ):
+                    return True
+        return False

@@ -1,0 +1,315 @@
+"""The ORIS engine: the paper's 4-step pipeline (section 2, figure 1).
+
+``OrisEngine.compare(bank1, bank2)`` runs:
+
+1. **Index** both banks on ``W``-nt seeds (CSR layout; optional
+   low-complexity filter, optional asymmetric 10-nt mode).
+2. **Hit extension**: enumerate the seed codes present in both indexes in
+   strictly increasing code order; extend every occurrence pair ungapped
+   with the ordered-seed cutoff; keep HSPs scoring above ``S1``; sort them
+   by diagonal number.
+3. **Gapped extension**: walk HSPs in diagonal order; skip any HSP already
+   contained in a stored alignment (paper line 14); extend the rest from
+   their middle in both directions with the banded x-drop DP; store
+   alignments in a diagonal-bucketed catalogue.
+   To keep the DP lane-parallel, HSPs are processed in *waves*: each wave
+   extends, in one batch, every not-yet-covered HSP that does not collide
+   (same neighbourhood of diagonals, overlapping bank-1 extent) with an
+   HSP already chosen in the wave; collided HSPs are deferred to the next
+   wave, after which most of them are covered by a freshly stored
+   alignment and skipped.  Waves change scheduling only -- the
+   skip-or-extend decision for each HSP is the same one the paper's serial
+   loop makes.
+4. **Display**: attach e-values (search space = bank-1 size x subject
+   sequence size, section 3.1), filter on the report threshold, sort, and
+   emit ``-m 8`` records.
+
+The engine also accumulates per-step wall-clock timings and work counters,
+which the benchmark harness reports alongside the paper's tables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..align.evalue import KarlinAltschul, karlin_params
+from ..align.hsp import GappedAlignment, HSPTable
+from ..align.records import alignments_to_m8, sort_records
+from ..align.ungapped import batch_extend, span_initial_score
+from ..filters import make_filter_mask
+from ..index.asymmetric import build_asymmetric_indexes
+from ..index.seed_index import CsrSeedIndex
+from ..io.bank import Bank
+from ..io.m8 import M8Record
+from .gapped_stage import run_gapped_stage
+from .pairs import iter_pair_chunks
+from .params import OrisParams
+
+__all__ = ["OrisEngine", "ComparisonResult", "StepTimings", "WorkCounters"]
+
+
+@dataclass(slots=True)
+class StepTimings:
+    """Wall-clock seconds per pipeline step."""
+
+    index: float = 0.0
+    ungapped: float = 0.0
+    gapped: float = 0.0
+    display: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.index + self.ungapped + self.gapped + self.display
+
+
+@dataclass(slots=True)
+class WorkCounters:
+    """Work metrics of one comparison (ablation/bench instrumentation)."""
+
+    n_pairs: int = 0  # hit pairs examined (the paper's X1*X2 totals)
+    n_cut: int = 0  # pairs killed by the ordered-seed cutoff
+    n_hsps: int = 0  # HSPs stored after step 2
+    ungapped_steps: int = 0  # lane-steps in the ungapped kernel
+    gapped_steps: int = 0  # lane-rows in the gapped kernel
+    n_gapped_extensions: int = 0  # HSPs actually extended in step 3
+    n_skipped_contained: int = 0  # HSPs skipped by the containment test
+    n_alignments: int = 0  # alignments stored
+    n_records: int = 0  # records after e-value filtering
+    n_waves: int = 0  # step-3 scheduling waves
+
+
+@dataclass(slots=True)
+class ComparisonResult:
+    """Everything a comparison produced."""
+
+    records: list[M8Record]
+    alignments: list[GappedAlignment]
+    timings: StepTimings
+    counters: WorkCounters
+    params: OrisParams = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+class OrisEngine:
+    """Ordered Index Seed comparison engine (the paper's contribution)."""
+
+    def __init__(self, params: OrisParams | None = None):
+        self.params = params or OrisParams()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def compare(self, bank1: Bank, bank2: Bank) -> ComparisonResult:
+        """Compare two banks; returns sorted ``-m 8`` records plus stats.
+
+        With ``strand == "both"`` the minus-strand pass runs against the
+        reverse-complemented bank 2 and its records are mapped back to
+        plus-strand subject coordinates (BLAST convention).
+        """
+        result = self._compare_one_strand(bank1, bank2, minus=False)
+        if self.params.strand == "both":
+            rc = bank2.reverse_complemented()
+            minus = self._compare_one_strand(bank1, rc, minus=True)
+            result = _merge_results(result, minus, self.params)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Pipeline
+    # ------------------------------------------------------------------ #
+
+    def _compare_one_strand(
+        self, bank1: Bank, bank2: Bank, minus: bool
+    ) -> ComparisonResult:
+        p = self.params
+        timings = StepTimings()
+        counters = WorkCounters()
+        stats = karlin_params(p.scoring)
+
+        # ---- Step 1: indexing ----------------------------------------- #
+        t0 = time.perf_counter()
+        index1, index2 = self._build_indexes(bank1, bank2)
+        timings.index = time.perf_counter() - t0
+
+        # ---- Step 2: hit extensions ------------------------------------ #
+        t0 = time.perf_counter()
+        s1_threshold = self._resolve_hsp_min_score(bank1, bank2, stats)
+        table = self._ungapped_stage(index1, index2, s1_threshold, counters)
+        counters.n_hsps = len(table)
+        timings.ungapped = time.perf_counter() - t0
+
+        # ---- Step 3: gapped alignments --------------------------------- #
+        t0 = time.perf_counter()
+        alignments = self._gapped_stage(bank1, bank2, table, counters)
+        counters.n_alignments = len(alignments)
+        timings.gapped = time.perf_counter() - t0
+
+        # ---- Step 4: display ------------------------------------------- #
+        t0 = time.perf_counter()
+        records = alignments_to_m8(
+            alignments,
+            bank1,
+            bank2,
+            stats,
+            max_evalue=p.max_evalue,
+            minus_strand=minus,
+            exclude_self=p.exclude_self,
+        )
+        records = sort_records(records, key=p.sort_key)
+        counters.n_records = len(records)
+        timings.display = time.perf_counter() - t0
+
+        return ComparisonResult(
+            records=records,
+            alignments=alignments,
+            timings=timings,
+            counters=counters,
+            params=p,
+        )
+
+    def _build_indexes(self, bank1: Bank, bank2: Bank) -> tuple[CsrSeedIndex, CsrSeedIndex]:
+        p = self.params
+        mask1 = make_filter_mask(bank1, p.filter_kind)
+        mask2 = make_filter_mask(bank2, p.filter_kind)
+        seed_mask = p.seed_mask
+        if seed_mask is not None:
+            return (
+                CsrSeedIndex(bank1, 0, mask1, mask=seed_mask),
+                CsrSeedIndex(bank2, 0, mask2, mask=seed_mask),
+            )
+        if p.asymmetric:
+            # Halve the larger bank (memory argument, see module docs).
+            sub = 1 if bank1.size_nt > bank2.size_nt else 2
+            return build_asymmetric_indexes(
+                bank1, bank2, w=p.asymmetric_w,
+                low_complexity_mask1=mask1, low_complexity_mask2=mask2,
+                subsample_bank=sub,
+            )
+        return (
+            CsrSeedIndex(bank1, p.w, mask1),
+            CsrSeedIndex(bank2, p.w, mask2),
+        )
+
+    def _resolve_hsp_min_score(
+        self, bank1: Bank, bank2: Bank, stats: KarlinAltschul
+    ) -> int:
+        p = self.params
+        if p.hsp_min_score is not None:
+            return p.hsp_min_score
+        # BLAST-style preliminary threshold: an HSP enters the gapped stage
+        # if alone it would reach hsp_evalue against an average subject.
+        n_mean = max(bank2.size_nt // max(bank2.n_sequences, 1), 1)
+        s = stats.min_score_for_evalue(p.hsp_evalue, bank1.size_nt, n_mean)
+        # Never below the seed's own score + 1 (a bare seed is not an HSP).
+        return max(s, p.scoring.seed_score(self.params.effective_w) + 1)
+
+    def _ungapped_stage(
+        self,
+        index1: CsrSeedIndex,
+        index2: CsrSeedIndex,
+        s1_threshold: int,
+        counters: WorkCounters,
+    ) -> HSPTable:
+        p = self.params
+        spaced = index1.mask is not None
+        # Extension offsets always use the seed's *span*; for contiguous
+        # seeds span == w.
+        w = index1.span
+        common = index1.common_codes(index2)
+        table = HSPTable()
+        seq1 = index1.bank.seq
+        seq2 = index2.bank.seq
+        codes1 = index1.cutoff_codes
+        codes2 = index2.cutoff_codes if spaced else None
+        ok2 = None if spaced else index2.indexed_mask
+        dedup: set[tuple[int, int, int, int]] | None = (
+            None if p.ordered_cutoff else set()
+        )
+        for chunk in iter_pair_chunks(
+            index1, index2, common, p.chunk_pairs, p.max_occurrences
+        ):
+            counters.n_pairs += chunk.n_pairs
+            init = (
+                span_initial_score(seq1, seq2, chunk.p1, chunk.p2, w, p.scoring)
+                if spaced
+                else None
+            )
+            res = batch_extend(
+                seq1,
+                seq2,
+                codes1,
+                chunk.p1,
+                chunk.p2,
+                chunk.codes,
+                w,
+                p.scoring,
+                ordered_cutoff=p.ordered_cutoff,
+                ok2=ok2,
+                codes2=codes2,
+                initial_scores=init,
+            )
+            counters.ungapped_steps += res.steps
+            counters.n_cut += int((~res.kept).sum())
+            keep = res.kept & (res.score >= s1_threshold)
+            s1 = res.start1[keep]
+            e1 = res.end1[keep]
+            s2 = res.start2[keep]
+            sc = res.score[keep]
+            if dedup is not None and s1.size:
+                # Ablation mode: the cutoff is off, so the same HSP arrives
+                # many times; this is exactly the "costly procedure to
+                # suppress all the duplicates" the paper avoids.
+                fresh = np.ones(s1.shape[0], dtype=bool)
+                for i in range(s1.shape[0]):
+                    box = (int(s1[i]), int(e1[i]), int(s2[i]), int(sc[i]))
+                    if box in dedup:
+                        fresh[i] = False
+                    else:
+                        dedup.add(box)
+                s1, e1, s2, sc = s1[fresh], e1[fresh], s2[fresh], sc[fresh]
+            table.append_chunk(s1, e1, s2, sc)
+        return table
+
+    def _gapped_stage(
+        self,
+        bank1: Bank,
+        bank2: Bank,
+        table: HSPTable,
+        counters: WorkCounters,
+    ) -> list[GappedAlignment]:
+        p = self.params
+        return run_gapped_stage(
+            bank1,
+            bank2,
+            table,
+            scoring=p.scoring,
+            band_radius=p.band_radius,
+            counters=counters,
+            min_align_score=p.min_align_score,
+            scheduling=p.gapped_scheduling,
+        )
+
+
+def _merge_results(
+    plus: ComparisonResult, minus: ComparisonResult, params: OrisParams
+) -> ComparisonResult:
+    """Combine plus- and minus-strand passes into one result."""
+    records = sort_records(plus.records + minus.records, key=params.sort_key)
+    timings = StepTimings(
+        index=plus.timings.index + minus.timings.index,
+        ungapped=plus.timings.ungapped + minus.timings.ungapped,
+        gapped=plus.timings.gapped + minus.timings.gapped,
+        display=plus.timings.display + minus.timings.display,
+    )
+    c = WorkCounters()
+    for name in WorkCounters.__dataclass_fields__:
+        setattr(c, name, getattr(plus.counters, name) + getattr(minus.counters, name))
+    return ComparisonResult(
+        records=records,
+        alignments=plus.alignments + minus.alignments,
+        timings=timings,
+        counters=c,
+        params=params,
+    )

@@ -1,0 +1,226 @@
+"""Shared step-3 implementation (gapped alignments from HSPs).
+
+Both engines of this reproduction -- the ORIS engine and the BLASTN-like
+baseline -- run exactly this gapped stage on their step-2 HSP tables.
+Sharing it is a deliberate experimental-design choice: the paper's
+contribution is the *seed handling* of steps 1-2 (ordered index seeds vs
+scan-and-skip), so the comparison isolates that difference while holding
+the gapped extension machinery constant (the paper itself notes in
+section 3.4 that its gapped/ungapped extension procedures were "rewritten
+and tuned", which is one of its sensitivity confounders; we remove it).
+
+See :class:`repro.core.engine.OrisEngine` docs for the wave-scheduling
+description, and :mod:`repro.core.containment` for the skip test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..align.gapped import BatchGappedResult, batch_gapped_extend
+from ..align.hsp import GappedAlignment, HSPTable
+from ..align.scoring import ScoringScheme
+from ..io.bank import Bank
+from .containment import AlignmentCatalog
+
+__all__ = ["run_gapped_stage"]
+
+
+def run_gapped_stage(
+    bank1: Bank,
+    bank2: Bank,
+    table: HSPTable,
+    scoring: ScoringScheme,
+    band_radius: int,
+    counters,
+    min_align_score: int | None = None,
+    scheduling: str = "single",
+) -> list[GappedAlignment]:
+    """Build gapped alignments from a diagonal-sorted HSP table.
+
+    ``counters`` is any object with the :class:`~repro.core.engine.WorkCounters`
+    fields touched here (``n_waves``, ``n_skipped_contained``,
+    ``n_gapped_extensions``, ``gapped_steps``).
+    """
+    s1, e1, s2, sc, diag = table.sorted_by_diagonal()
+    n = s1.shape[0]
+    catalog = AlignmentCatalog(band_radius)
+    if n == 0:
+        return []
+    seq1, seq2 = bank1.seq, bank2.seq
+
+    def extend(chosen: np.ndarray) -> None:
+        _extend_wave(
+            seq1, seq2, s1, e1, s2, diag, chosen, catalog, counters,
+            scoring, band_radius, min_align_score,
+        )
+
+    if scheduling == "serial":
+        for h in range(n):
+            hd, hs1, he1 = int(diag[h]), int(s1[h]), int(e1[h])
+            if catalog.covers_hsp(hs1, he1, hd):
+                counters.n_skipped_contained += 1
+                continue
+            counters.n_waves += 1
+            extend(np.asarray([h], dtype=np.int64))
+        return catalog.alignments
+
+    if scheduling == "single":
+        # Extend every HSP in one batch, then emulate the serial skip by
+        # dropping alignments contained in a higher-scoring one.  Compared
+        # to "serial", this spends extra extensions on HSPs the serial loop
+        # would have skipped (their results are then deduplicated or
+        # filtered here), but runs the DP at full lane parallelism.
+        counters.n_waves = 1
+        extend(np.arange(n, dtype=np.int64))
+        kept = _filter_contained(catalog.alignments, band_radius, counters)
+        return kept
+
+    if scheduling != "waves":
+        raise ValueError(f"unknown gapped scheduling {scheduling!r}")
+
+    pending = np.arange(n)
+    link_slack = 2 * band_radius  # "same alignment" neighbourhood
+    shift = max(link_slack - 1, 1).bit_length()
+    while pending.size:
+        counters.n_waves += 1
+        selected: list[int] = []
+        deferred: list[int] = []
+        wave_buckets: dict[int, list[int]] = {}
+        for h in pending:
+            hd = int(diag[h])
+            hs1, he1 = int(s1[h]), int(e1[h])
+            if catalog.covers_hsp(hs1, he1, hd):
+                counters.n_skipped_contained += 1
+                continue
+            b = hd >> shift
+            collide = False
+            for bb in (b - 1, b, b + 1):
+                for c in wave_buckets.get(bb, ()):
+                    if abs(int(diag[c]) - hd) <= link_slack and (
+                        hs1 < int(e1[c]) and int(s1[c]) < he1
+                    ):
+                        collide = True
+                        break
+                if collide:
+                    break
+            if collide:
+                deferred.append(h)
+            else:
+                selected.append(h)
+                wave_buckets.setdefault(b, []).append(h)
+        if not selected:
+            break
+        extend(np.asarray(selected, dtype=np.int64))
+        pending = np.asarray(deferred, dtype=np.int64)
+
+    return catalog.alignments
+
+
+def _filter_contained(
+    alignments: list[GappedAlignment], band_radius: int, counters
+) -> list[GappedAlignment]:
+    """Drop alignments whose box and diagonal range lie inside a
+    higher-scoring alignment's (the "single" schedule's post-pass).
+
+    This is the alignment-level analogue of the per-HSP containment skip:
+    an HSP the serial loop would have skipped extends (in the single
+    batch) to an alignment contained in the one that would have covered
+    it.
+    """
+    order = sorted(
+        range(len(alignments)),
+        key=lambda i: (-alignments[i].score, alignments[i].start1),
+    )
+    catalog = AlignmentCatalog(band_radius)
+    kept_flags = [False] * len(alignments)
+    for i in order:
+        a = alignments[i]
+        if catalog.covers_alignment(a):
+            counters.n_skipped_contained += 1
+            continue
+        catalog.add(a)
+        kept_flags[i] = True
+    # Preserve discovery (diagonal) order for downstream determinism.
+    return [a for a, k in zip(alignments, kept_flags) if k]
+
+
+def _extend_wave(
+    seq1: np.ndarray,
+    seq2: np.ndarray,
+    s1: np.ndarray,
+    e1: np.ndarray,
+    s2: np.ndarray,
+    diag: np.ndarray,
+    chosen: np.ndarray,
+    catalog: AlignmentCatalog,
+    counters,
+    scoring: ScoringScheme,
+    band_radius: int,
+    min_align_score: int | None,
+) -> None:
+    """Gapped-extend the chosen HSPs (one batch) and store alignments.
+
+    Extensions start "from the middle of an HSP ... on both extremities"
+    (paper section 2.3); left and right run as one mixed-direction batch.
+    """
+    counters.n_gapped_extensions += int(chosen.size)
+    mid1 = (s1[chosen] + e1[chosen]) // 2
+    mid2 = s2[chosen] + (mid1 - s1[chosen])
+    k = chosen.size
+    dirs = np.concatenate((np.full(k, -1, np.int64), np.full(k, 1, np.int64)))
+    both = batch_gapped_extend(
+        seq1,
+        seq2,
+        np.concatenate((mid1, mid1)),
+        np.concatenate((mid2, mid2)),
+        dirs,
+        scoring,
+        band_radius,
+    )
+    left = _slice_gapped(both, 0, k)
+    right = _slice_gapped(both, k, 2 * k)
+    counters.gapped_steps += both.steps
+    diag_mid = diag[chosen]
+    for i in range(k):
+        score = int(left.score[i] + right.score[i])
+        if min_align_score is not None and score < min_align_score:
+            continue
+        a_start1 = int(mid1[i] - left.consumed1[i])
+        a_end1 = int(mid1[i] + right.consumed1[i])
+        a_start2 = int(mid2[i] - left.consumed2[i])
+        a_end2 = int(mid2[i] + right.consumed2[i])
+        if a_end1 <= a_start1 or a_end2 <= a_start2:
+            continue  # degenerate (both extensions empty)
+        dm = int(diag_mid[i])
+        catalog.add(
+            GappedAlignment(
+                start1=a_start1,
+                end1=a_end1,
+                start2=a_start2,
+                end2=a_end2,
+                score=score,
+                matches=int(left.matches[i] + right.matches[i]),
+                mismatches=int(left.mismatches[i] + right.mismatches[i]),
+                gap_columns=int(left.gap_columns[i] + right.gap_columns[i]),
+                gap_openings=int(left.gap_openings[i] + right.gap_openings[i]),
+                min_diag=dm + min(int(right.min_dd[i]), -int(left.max_dd[i]), 0),
+                max_diag=dm + max(int(right.max_dd[i]), -int(left.min_dd[i]), 0),
+            )
+        )
+
+
+def _slice_gapped(res: BatchGappedResult, lo: int, hi: int) -> BatchGappedResult:
+    """View one direction's lanes out of a merged two-direction batch."""
+    return BatchGappedResult(
+        score=res.score[lo:hi],
+        consumed1=res.consumed1[lo:hi],
+        consumed2=res.consumed2[lo:hi],
+        matches=res.matches[lo:hi],
+        mismatches=res.mismatches[lo:hi],
+        gap_columns=res.gap_columns[lo:hi],
+        gap_openings=res.gap_openings[lo:hi],
+        min_dd=res.min_dd[lo:hi],
+        max_dd=res.max_dd[lo:hi],
+        steps=0,
+    )

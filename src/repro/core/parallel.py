@@ -1,0 +1,184 @@
+"""Seed-space-partitioned parallel step 2 (paper section 4).
+
+"The structure of the algorithm is also well suited for fine grained
+parallelism, especially step 2 and step 3.  As a matter of fact, the outer
+loop of step 2 which considers all the possible 4^W seeds can be run in
+parallel since seed order prevents identical HSPs to be generated.  The
+two inner loops can also be highly parallelized as the ungapped extensions
+refer to independent computations."
+
+This module realises exactly that decomposition with ``multiprocessing``
+(fork start method): the ascending list of common seed codes is split into
+``n_workers`` contiguous ranges; each worker runs the step-2 batch
+extension over its range; the parent merges the per-worker HSP chunks and
+runs steps 3-4 as usual.  Correctness needs no inter-worker communication
+precisely because of the paper's argument -- the ordered-seed cutoff makes
+every HSP the product of exactly one seed, hence of exactly one worker.
+
+Banks and indexes are handed to workers through fork-inherited module
+state (copy-on-write), so nothing large is pickled.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import numpy as np
+
+from ..align.ungapped import batch_extend
+from ..align.hsp import HSPTable
+from ..index.seed_index import CommonCodes
+from ..io.bank import Bank
+from .engine import ComparisonResult, OrisEngine, WorkCounters
+from .pairs import iter_pair_chunks
+from .params import OrisParams
+
+__all__ = ["compare_parallel", "split_code_ranges"]
+
+#: Fork-inherited worker state: (index1, index2, common, params, threshold).
+_WORKER_STATE: dict = {}
+
+
+def split_code_ranges(n_codes: int, n_workers: int) -> list[tuple[int, int]]:
+    """Split ``range(n_codes)`` into contiguous near-equal slices.
+
+    Returned slices preserve the ascending seed-code order inside each
+    worker (the order is what makes the cutoff correct; across workers no
+    ordering is required at all).
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    bounds = np.linspace(0, n_codes, n_workers + 1).astype(int)
+    return [
+        (int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+    ]
+
+
+def _worker_ungapped(code_range: tuple[int, int]):
+    """Run step 2 over one contiguous slice of the common-code list."""
+    index1 = _WORKER_STATE["index1"]
+    index2 = _WORKER_STATE["index2"]
+    common: CommonCodes = _WORKER_STATE["common"]
+    params: OrisParams = _WORKER_STATE["params"]
+    threshold: int = _WORKER_STATE["threshold"]
+    lo, hi = code_range
+    sub = CommonCodes(
+        codes=common.codes[lo:hi],
+        start1=common.start1[lo:hi],
+        count1=common.count1[lo:hi],
+        start2=common.start2[lo:hi],
+        count2=common.count2[lo:hi],
+    )
+    w = params.effective_w
+    out = []
+    n_pairs = 0
+    n_cut = 0
+    steps = 0
+    for chunk in iter_pair_chunks(
+        index1, index2, sub, params.chunk_pairs, params.max_occurrences
+    ):
+        n_pairs += chunk.n_pairs
+        res = batch_extend(
+            index1.bank.seq,
+            index2.bank.seq,
+            index1.cutoff_codes,
+            chunk.p1,
+            chunk.p2,
+            chunk.codes,
+            w,
+            params.scoring,
+            ordered_cutoff=params.ordered_cutoff,
+            ok2=index2.indexed_mask,
+        )
+        steps += res.steps
+        n_cut += int((~res.kept).sum())
+        keep = res.kept & (res.score >= threshold)
+        out.append(
+            (res.start1[keep], res.end1[keep], res.start2[keep], res.score[keep])
+        )
+    return out, n_pairs, n_cut, steps
+
+
+def compare_parallel(
+    bank1: Bank,
+    bank2: Bank,
+    params: OrisParams | None = None,
+    n_workers: int = 2,
+) -> ComparisonResult:
+    """ORIS comparison with step 2 parallelised across processes.
+
+    Produces the same HSP set (hence the same records) as the sequential
+    engine -- asserted by the test suite -- because seed ranges are
+    independent under the ordered-seed cutoff.  Steps 1, 3 and 4 run in
+    the parent.
+
+    Falls back to the sequential engine when ``n_workers == 1`` or the
+    platform lacks the ``fork`` start method.
+    """
+    params = params or OrisParams()
+    if params.strand != "plus":
+        raise ValueError(
+            "compare_parallel runs a single strand; call it per strand"
+        )
+    engine = OrisEngine(params)
+    if n_workers <= 1 or "fork" not in mp.get_all_start_methods():
+        return engine.compare(bank1, bank2)
+
+    import time as _time
+
+    from ..align.evalue import karlin_params
+    from ..align.records import alignments_to_m8, sort_records
+    from .engine import StepTimings
+
+    timings = StepTimings()
+    counters = WorkCounters()
+    stats = karlin_params(params.scoring)
+
+    t0 = _time.perf_counter()
+    index1, index2 = engine._build_indexes(bank1, bank2)
+    common = index1.common_codes(index2)
+    threshold = engine._resolve_hsp_min_score(bank1, bank2, stats)
+    timings.index = _time.perf_counter() - t0
+
+    t0 = _time.perf_counter()
+    _WORKER_STATE.update(
+        index1=index1, index2=index2, common=common,
+        params=params, threshold=threshold,
+    )
+    try:
+        ranges = split_code_ranges(common.n_codes, n_workers)
+        ctx = mp.get_context("fork")
+        with ctx.Pool(processes=len(ranges)) as pool:
+            results = pool.map(_worker_ungapped, ranges)
+    finally:
+        _WORKER_STATE.clear()
+    table = HSPTable()
+    for chunks, n_pairs, n_cut, steps in results:
+        counters.n_pairs += n_pairs
+        counters.n_cut += n_cut
+        counters.ungapped_steps += steps
+        for s1, e1, s2, sc in chunks:
+            table.append_chunk(s1, e1, s2, sc)
+    counters.n_hsps = len(table)
+    timings.ungapped = _time.perf_counter() - t0
+
+    t0 = _time.perf_counter()
+    alignments = engine._gapped_stage(bank1, bank2, table, counters)
+    counters.n_alignments = len(alignments)
+    timings.gapped = _time.perf_counter() - t0
+
+    t0 = _time.perf_counter()
+    records = alignments_to_m8(
+        alignments, bank1, bank2, stats, max_evalue=params.max_evalue
+    )
+    records = sort_records(records, key=params.sort_key)
+    counters.n_records = len(records)
+    timings.display = _time.perf_counter() - t0
+
+    return ComparisonResult(
+        records=records,
+        alignments=alignments,
+        timings=timings,
+        counters=counters,
+        params=params,
+    )

@@ -1,0 +1,39 @@
+"""Synthetic data substrate (substitute for the paper's GenBank data)."""
+
+from .synthetic import (
+    Transcriptome,
+    insert_low_complexity,
+    insert_repeats,
+    make_est_bank,
+    make_genome,
+    make_related_genome,
+    make_viral_bank,
+    mutate,
+    random_dna,
+)
+from .datasets import (
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
+    PAPER_BANKS,
+    DatasetSpec,
+    load_bank,
+    table1_rows,
+)
+
+__all__ = [
+    "Transcriptome",
+    "insert_low_complexity",
+    "insert_repeats",
+    "make_est_bank",
+    "make_genome",
+    "make_related_genome",
+    "make_viral_bank",
+    "mutate",
+    "random_dna",
+    "DEFAULT_SCALE",
+    "DEFAULT_SEED",
+    "PAPER_BANKS",
+    "DatasetSpec",
+    "load_bank",
+    "table1_rows",
+]

@@ -1,0 +1,117 @@
+"""Nucleotide encoding exactly as defined in the ORIS paper (section 2.1).
+
+The paper uses a deliberately non-alphabetic 2-bit code::
+
+    A    C    G    T
+    00   01   11   10
+
+i.e. ``A=0, C=1, T=2, G=3``.  This choice has a useful property that the
+reproduction exploits and documents: the Watson-Crick complement of a
+nucleotide is obtained by flipping the high bit (XOR with ``0b10``):
+
+    A (00) <-> T (10)        C (01) <-> G (11)
+
+Any character that is not one of ``ACGT`` (ambiguity codes such as ``N``,
+and the inter-sequence separators used by :class:`repro.io.bank.Bank`) is
+mapped to the sentinel :data:`INVALID`, which is outside the 2-bit range and
+never matches anything -- including another sentinel -- during extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "A",
+    "C",
+    "T",
+    "G",
+    "INVALID",
+    "ALPHABET",
+    "CODE_TO_CHAR",
+    "encode",
+    "decode",
+    "complement_codes",
+    "reverse_complement",
+    "is_valid",
+]
+
+#: 2-bit nucleotide codes, matching the paper's table in section 2.1.
+A: int = 0b00
+C: int = 0b01
+T: int = 0b10
+G: int = 0b11
+
+#: Sentinel for anything that is not an unambiguous nucleotide.  It is used
+#: both for ambiguity characters (``N`` etc.) and for the separator bytes a
+#: :class:`~repro.io.bank.Bank` inserts between concatenated sequences, so a
+#: single comparison (``code >= INVALID``) detects "cannot match here".
+INVALID: int = 4
+
+#: The nucleotide alphabet in code order (``ALPHABET[code] == char``).
+ALPHABET: str = "ACTG"
+
+# Lookup table: byte value of an ASCII character -> nucleotide code.
+# Upper and lower case both accepted; everything else maps to INVALID.
+_CHAR_TO_CODE = np.full(256, INVALID, dtype=np.int8)
+for _ch, _code in (("A", A), ("C", C), ("G", G), ("T", T)):
+    _CHAR_TO_CODE[ord(_ch)] = _code
+    _CHAR_TO_CODE[ord(_ch.lower())] = _code
+
+#: Inverse mapping used by :func:`decode`; invalid codes decode to ``N``.
+CODE_TO_CHAR = np.frombuffer(b"ACTGN", dtype=np.uint8).copy()
+
+
+def encode(sequence: str | bytes) -> np.ndarray:
+    """Encode a DNA string into an ``int8`` array of 2-bit codes.
+
+    Characters outside ``ACGTacgt`` (ambiguity codes, gaps, whitespace that
+    slipped through parsing) are encoded as :data:`INVALID`.
+
+    Parameters
+    ----------
+    sequence:
+        DNA as ``str`` or ``bytes``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int8`` array of the same length with values in ``{0,1,2,3,4}``.
+    """
+    if isinstance(sequence, str):
+        raw = sequence.encode("ascii", errors="replace")
+    else:
+        raw = bytes(sequence)
+    return _CHAR_TO_CODE[np.frombuffer(raw, dtype=np.uint8)].copy()
+
+
+def decode(codes: np.ndarray) -> str:
+    """Decode a code array back into a DNA string.
+
+    Invalid codes (``>= 4``) decode to ``N``.  ``decode(encode(s))``
+    round-trips any upper-case ``ACGTN`` string.
+    """
+    arr = np.asarray(codes)
+    clipped = np.minimum(arr.astype(np.int64), INVALID)
+    return CODE_TO_CHAR[clipped].tobytes().decode("ascii")
+
+
+def complement_codes(codes: np.ndarray) -> np.ndarray:
+    """Complement each code in place-order (A<->T, C<->G).
+
+    Thanks to the paper's code assignment this is a single XOR with ``0b10``
+    for valid codes; invalid codes stay invalid.
+    """
+    arr = np.asarray(codes)
+    out = arr ^ 2
+    return np.where(arr >= INVALID, arr, out).astype(arr.dtype, copy=False)
+
+
+def reverse_complement(codes: np.ndarray) -> np.ndarray:
+    """Reverse-complement a code array (used for minus-strand search)."""
+    return complement_codes(np.asarray(codes)[::-1]).copy()
+
+
+def is_valid(codes: np.ndarray) -> np.ndarray:
+    """Boolean mask of positions holding an unambiguous nucleotide."""
+    return np.asarray(codes) < INVALID

@@ -1,0 +1,129 @@
+"""Seed-code arithmetic (paper section 2.1).
+
+A seed is a word of ``W`` nucleotides.  Its integer code is::
+
+    codeSEED(S) = sum_{i < W} 4**i * codeNT(S_i)
+
+Note the *little-endian* weighting: the **first** character of the word
+carries weight ``4**0``.  This is the paper's definition and it fixes the
+total order in which step 2 of the ORIS algorithm enumerates seeds, so we
+keep it exactly (a big-endian code would enumerate seeds in a different
+order and change which occurrence of an HSP is its canonical generator --
+the algorithm would still be correct, but it would not be the paper's).
+
+:func:`seed_codes` computes the code of the window starting at every
+position of an encoded sequence in a vectorised pass.  Windows that contain
+an invalid character (``N`` or a bank separator) or that run off the end of
+the array receive the sentinel :data:`invalid_code`, which is larger than
+every valid code so it can never satisfy the ordered-seed cutoff
+(``code <= start_code``) by accident.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .codes import INVALID, encode, decode
+
+__all__ = [
+    "MAX_SEED_WIDTH",
+    "invalid_code",
+    "n_seed_codes",
+    "seed_codes",
+    "code_of_word",
+    "word_of_code",
+]
+
+#: Largest supported seed width.  ``4**31`` overflows int64 multiplication
+#: headroom we reserve; widths beyond 31 are far outside the paper's regime
+#: (the paper uses W = 11 and an asymmetric W = 10 variant).
+MAX_SEED_WIDTH: int = 31
+
+
+def _check_width(w: int) -> None:
+    if not isinstance(w, (int, np.integer)):
+        raise TypeError(f"seed width must be an int, got {type(w).__name__}")
+    if not 1 <= int(w) <= MAX_SEED_WIDTH:
+        raise ValueError(f"seed width must be in [1, {MAX_SEED_WIDTH}], got {w}")
+
+
+def n_seed_codes(w: int) -> int:
+    """Number of distinct seed codes of width ``w`` (the paper's ``4**W``)."""
+    _check_width(w)
+    return 4 ** int(w)
+
+
+def invalid_code(w: int) -> int:
+    """Sentinel code assigned to windows that are not valid seeds.
+
+    It equals ``4**w`` and therefore compares strictly greater than every
+    valid seed code, which is what the ordered-seed cutoff requires.
+    """
+    return n_seed_codes(w)
+
+
+def seed_codes(codes: np.ndarray, w: int) -> np.ndarray:
+    """Compute the seed code of every window of width ``w``.
+
+    Parameters
+    ----------
+    codes:
+        Encoded sequence (``int8`` values in ``{0..4}``) of length ``n``.
+    w:
+        Seed width.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` array of length ``n``.  Entry ``i`` is
+        ``codeSEED(codes[i:i+w])`` when that window lies fully inside the
+        array and contains only valid nucleotides; otherwise it is
+        :func:`invalid_code`.
+    """
+    _check_width(w)
+    arr = np.asarray(codes, dtype=np.int8)
+    n = arr.shape[0]
+    w = int(w)
+    bad = invalid_code(w)
+    out = np.full(n, bad, dtype=np.int64)
+    if n < w:
+        return out
+
+    # Little-endian weighted sum over the window: w vectorised passes.
+    valid_len = n - w + 1
+    acc = np.zeros(valid_len, dtype=np.int64)
+    ok = np.ones(valid_len, dtype=bool)
+    for j in range(w):
+        col = arr[j : j + valid_len].astype(np.int64)
+        ok &= col < INVALID
+        acc += (4**j) * np.where(col < INVALID, col, 0)
+    out[:valid_len] = np.where(ok, acc, bad)
+    return out
+
+
+def code_of_word(word: str) -> int:
+    """Code of a single seed word given as a string.
+
+    Raises ``ValueError`` if the word contains non-ACGT characters.
+    """
+    arr = encode(word)
+    if arr.size == 0:
+        raise ValueError("empty seed word")
+    _check_width(arr.size)
+    if (arr >= INVALID).any():
+        raise ValueError(f"seed word contains non-ACGT characters: {word!r}")
+    weights = 4 ** np.arange(arr.size, dtype=np.int64)
+    return int((arr.astype(np.int64) * weights).sum())
+
+
+def word_of_code(code: int, w: int) -> str:
+    """Inverse of :func:`code_of_word` for a given width."""
+    _check_width(w)
+    code = int(code)
+    if not 0 <= code < n_seed_codes(w):
+        raise ValueError(f"code {code} out of range for width {w}")
+    digits = np.empty(w, dtype=np.int8)
+    for i in range(w):
+        digits[i] = code % 4
+        code //= 4
+    return decode(digits)

@@ -1,0 +1,32 @@
+"""Evaluation harness: the paper's sensitivity metric, timing, tables."""
+
+from .sensitivity import (
+    SensitivityReport,
+    compare_outputs,
+    count_missed,
+    is_equivalent,
+)
+from .timing import TimedRun, time_call
+from .tables import ascii_series_plot, render_csv, render_table
+from .summary import ResultSummary, best_hits, query_coverage, summarize
+from .groundtruth import Implant, ImplantExperiment, make_implant, recall
+
+__all__ = [
+    "SensitivityReport",
+    "compare_outputs",
+    "count_missed",
+    "is_equivalent",
+    "TimedRun",
+    "time_call",
+    "ascii_series_plot",
+    "render_csv",
+    "render_table",
+    "ResultSummary",
+    "best_hits",
+    "query_coverage",
+    "summarize",
+    "Implant",
+    "ImplantExperiment",
+    "make_implant",
+    "recall",
+]

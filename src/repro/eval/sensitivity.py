@@ -1,0 +1,124 @@
+"""Sensitivity metric of the paper (section 3.4).
+
+"We consider that two alignments are equivalent if they overlap of more
+than 80 %.  Based on this metric, we define the following values:
+SCtotal, BLtotal, SCmiss, BLmiss ... We can then deduce the percentage of
+missed alignments according to a reference program:
+
+    SCORISmiss = SCmiss / BLtotal * 100
+    BLASTmiss  = BLmiss / SCtotal * 100"
+
+Equivalence here is implemented as: same (query id, subject id) pair and
+the alignments' intervals overlap by more than the threshold fraction on
+*both* the query and the subject axis, where the fraction is relative to
+the shorter of the two intervals on that axis.  Minus-strand alignments
+only match minus-strand alignments.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..io.m8 import M8Record
+
+__all__ = ["SensitivityReport", "count_missed", "compare_outputs", "is_equivalent"]
+
+#: The paper's overlap threshold.
+DEFAULT_OVERLAP: float = 0.8
+
+
+def _overlap_fraction(a: tuple[int, int], b: tuple[int, int]) -> float:
+    """Overlap length relative to the shorter interval (half-open)."""
+    lo = max(a[0], b[0])
+    hi = min(a[1], b[1])
+    inter = max(hi - lo, 0)
+    shorter = max(min(a[1] - a[0], b[1] - b[0]), 1)
+    return inter / shorter
+
+
+def is_equivalent(
+    a: M8Record, b: M8Record, overlap: float = DEFAULT_OVERLAP
+) -> bool:
+    """The paper's 80 %-overlap alignment equivalence."""
+    if a.query_id != b.query_id or a.subject_id != b.subject_id:
+        return False
+    if a.minus_strand != b.minus_strand:
+        return False
+    return (
+        _overlap_fraction(a.q_span, b.q_span) > overlap
+        and _overlap_fraction(a.s_span, b.s_span) > overlap
+    )
+
+
+def count_missed(
+    found: list[M8Record],
+    reference: list[M8Record],
+    overlap: float = DEFAULT_OVERLAP,
+) -> int:
+    """Number of *reference* alignments with no equivalent in *found*.
+
+    Grouped by (query, subject) pair; within a group the candidate lists
+    are sorted by query start so each reference alignment only probes the
+    window of candidates whose query interval can still overlap it.
+    """
+    by_pair: dict[tuple[str, str], list[M8Record]] = defaultdict(list)
+    for rec in found:
+        by_pair[(rec.query_id, rec.subject_id)].append(rec)
+    for lst in by_pair.values():
+        lst.sort(key=lambda r: r.q_span[0])
+
+    missed = 0
+    for ref in reference:
+        candidates = by_pair.get((ref.query_id, ref.subject_id))
+        if not candidates:
+            missed += 1
+            continue
+        q_lo, q_hi = ref.q_span
+        hit = False
+        for cand in candidates:
+            c_lo, c_hi = cand.q_span
+            if c_lo >= q_hi:
+                break  # sorted: nothing further can overlap
+            if c_hi <= q_lo:
+                continue
+            if is_equivalent(cand, ref, overlap):
+                hit = True
+                break
+        if not hit:
+            missed += 1
+    return missed
+
+
+@dataclass(frozen=True, slots=True)
+class SensitivityReport:
+    """The paper's four sensitivity quantities for one bank pair."""
+
+    sc_total: int  # alignments found by the engine under test (SCORIS-N)
+    bl_total: int  # alignments found by the reference engine (BLASTN)
+    sc_miss: int  # reference alignments the engine under test missed
+    bl_miss: int  # engine-under-test alignments the reference missed
+
+    @property
+    def scoris_miss_pct(self) -> float:
+        """``SCORISmiss = SCmiss / BLtotal * 100`` (paper section 3.4)."""
+        return 100.0 * self.sc_miss / self.bl_total if self.bl_total else 0.0
+
+    @property
+    def blast_miss_pct(self) -> float:
+        """``BLASTmiss = BLmiss / SCtotal * 100``."""
+        return 100.0 * self.bl_miss / self.sc_total if self.sc_total else 0.0
+
+
+def compare_outputs(
+    scoris_records: list[M8Record],
+    blast_records: list[M8Record],
+    overlap: float = DEFAULT_OVERLAP,
+) -> SensitivityReport:
+    """Compute the paper's sensitivity table entries for one bank pair."""
+    return SensitivityReport(
+        sc_total=len(scoris_records),
+        bl_total=len(blast_records),
+        sc_miss=count_missed(scoris_records, blast_records, overlap),
+        bl_miss=count_missed(blast_records, scoris_records, overlap),
+    )

@@ -1,0 +1,100 @@
+"""Result-set summaries over ``-m 8`` records.
+
+The paper's output "is better suited for further automatic processing
+than the standard BLASTN output" (section 3.1); this module is that
+further processing: aggregate statistics over a comparison's records --
+identity/length distributions, per-query coverage, best-hit extraction --
+used by the examples and handy for downstream pipelines.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..io.m8 import M8Record
+
+__all__ = ["ResultSummary", "summarize", "best_hits", "query_coverage"]
+
+
+@dataclass(frozen=True, slots=True)
+class ResultSummary:
+    """Aggregate statistics of one record set."""
+
+    n_records: int
+    n_query_ids: int
+    n_subject_ids: int
+    total_aligned_columns: int
+    mean_length: float
+    median_length: float
+    mean_pident: float
+    min_evalue: float
+    n_minus_strand: int
+
+    def format(self) -> str:
+        """Multi-line human-readable rendering."""
+        return (
+            f"records:            {self.n_records}\n"
+            f"distinct queries:   {self.n_query_ids}\n"
+            f"distinct subjects:  {self.n_subject_ids}\n"
+            f"aligned columns:    {self.total_aligned_columns}\n"
+            f"length mean/median: {self.mean_length:.1f} / {self.median_length:.1f}\n"
+            f"mean identity:      {self.mean_pident:.2f} %\n"
+            f"best e-value:       {self.min_evalue:.2g}\n"
+            f"minus-strand hits:  {self.n_minus_strand}\n"
+        )
+
+
+def summarize(records: list[M8Record]) -> ResultSummary:
+    """Aggregate a record list (empty lists give a zeroed summary)."""
+    if not records:
+        return ResultSummary(0, 0, 0, 0, 0.0, 0.0, 0.0, float("inf"), 0)
+    lengths = np.array([r.length for r in records], dtype=np.float64)
+    pidents = np.array([r.pident for r in records], dtype=np.float64)
+    return ResultSummary(
+        n_records=len(records),
+        n_query_ids=len({r.query_id for r in records}),
+        n_subject_ids=len({r.subject_id for r in records}),
+        total_aligned_columns=int(lengths.sum()),
+        mean_length=float(lengths.mean()),
+        median_length=float(np.median(lengths)),
+        mean_pident=float(pidents.mean()),
+        min_evalue=min(r.evalue for r in records),
+        n_minus_strand=sum(1 for r in records if r.minus_strand),
+    )
+
+
+def best_hits(records: list[M8Record]) -> dict[str, M8Record]:
+    """Best (lowest e-value, then highest bit score) record per query."""
+    best: dict[str, M8Record] = {}
+    for rec in records:
+        cur = best.get(rec.query_id)
+        if cur is None or (rec.evalue, -rec.bit_score) < (cur.evalue, -cur.bit_score):
+            best[rec.query_id] = rec
+    return best
+
+
+def query_coverage(records: list[M8Record]) -> dict[str, int]:
+    """Per-query count of distinct covered columns (union of intervals).
+
+    Overlapping alignments are merged so each query position counts once.
+    """
+    spans: dict[str, list[tuple[int, int]]] = defaultdict(list)
+    for rec in records:
+        spans[rec.query_id].append(rec.q_span)
+    out: dict[str, int] = {}
+    for q, ivals in spans.items():
+        ivals.sort()
+        covered = 0
+        cur_lo, cur_hi = ivals[0]
+        for lo, hi in ivals[1:]:
+            if lo > cur_hi:
+                covered += cur_hi - cur_lo
+                cur_lo, cur_hi = lo, hi
+            else:
+                cur_hi = max(cur_hi, hi)
+        covered += cur_hi - cur_lo
+        out[q] = covered
+    return out

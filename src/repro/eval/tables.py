@@ -1,0 +1,97 @@
+"""Paper-style table rendering for the benchmark harness.
+
+Each bench regenerates one table or figure of the paper; this module
+formats the measured rows next to the paper's reported values so the
+"shape" comparison (who wins, by how much, how it trends) is a single
+glance.  Tables are plain fixed-width text (grep-able, diff-able) and can
+also be emitted as CSV for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Sequence
+
+__all__ = ["render_table", "render_csv", "ascii_series_plot"]
+
+
+def _format_cell(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:.0f}"
+        if abs(v) >= 10:
+            return f"{v:.1f}"
+        return f"{v:.2f}"
+    return str(v)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+) -> str:
+    """Fixed-width text table."""
+    str_rows = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    out.write(line + "\n")
+    out.write("-" * len(line) + "\n")
+    for row in str_rows:
+        out.write("  ".join(c.rjust(w) for c, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def render_csv(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """CSV with the same content (for plotting pipelines)."""
+    out = io.StringIO()
+    out.write(",".join(headers) + "\n")
+    for row in rows:
+        out.write(",".join(_format_cell(c) for c in row) + "\n")
+    return out.getvalue()
+
+
+def ascii_series_plot(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Scatter plot in ASCII (the bench's stand-in for paper figure 3).
+
+    Each series gets its own marker; points are (x, y).
+    """
+    markers = "ox+*#@"
+    pts = [(x, y) for s in series.values() for x, y in s]
+    if not pts:
+        return "(no data)\n"
+    xmin = min(x for x, _ in pts)
+    xmax = max(x for x, _ in pts)
+    ymin = 0.0
+    ymax = max(y for _, y in pts) or 1.0
+    xr = (xmax - xmin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, data) in enumerate(series.items()):
+        m = markers[si % len(markers)]
+        for x, y in data:
+            col = int((x - xmin) / xr * (width - 1))
+            row = height - 1 - int((y - ymin) / (ymax - ymin) * (height - 1))
+            grid[row][col] = m
+    out = io.StringIO()
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} = {name}" for i, name in enumerate(series)
+    )
+    out.write(f"{y_label} (max {ymax:.1f})   {legend}\n")
+    for row in grid:
+        out.write("|" + "".join(row) + "\n")
+    out.write("+" + "-" * width + "\n")
+    out.write(f" {xmin:.1f} {x_label} {xmax:.1f}\n")
+    return out.getvalue()

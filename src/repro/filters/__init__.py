@@ -1,0 +1,28 @@
+"""Low-complexity filters applied before indexing (paper section 2.1)."""
+
+from .dust import dust_mask, dust_scores
+from .entropy import entropy_mask, entropy_scores
+
+__all__ = ["dust_mask", "dust_scores", "entropy_mask", "entropy_scores"]
+
+
+def make_filter_mask(bank, kind: str = "dust", **kwargs):
+    """Dispatch helper: build a low-complexity mask by filter name.
+
+    Parameters
+    ----------
+    bank:
+        A :class:`~repro.io.bank.Bank` (or raw code array).
+    kind:
+        ``"dust"`` (default, the paper's choice), ``"entropy"``, or
+        ``"none"`` (returns ``None``, meaning nothing masked).
+    kwargs:
+        Passed through to the selected filter.
+    """
+    if kind == "none" or kind is None:
+        return None
+    if kind == "dust":
+        return dust_mask(bank, **kwargs)
+    if kind == "entropy":
+        return entropy_mask(bank, **kwargs)
+    raise ValueError(f"unknown filter kind {kind!r} (use dust/entropy/none)")

@@ -1,0 +1,101 @@
+"""Shannon-entropy low-complexity filter (alternative to DUST).
+
+A simpler windowed filter that masks regions whose base composition is
+strongly skewed: the Shannon entropy (in bits) of the mononucleotide
+distribution within a sliding window is compared against a threshold.
+Poly-A tracts have entropy 0; uniform random DNA approaches 2 bits.
+
+This is provided as a second filter implementation because the paper notes
+(section 3.4) that filter differences are one cause of the small
+sensitivity gap between SCORIS-N and BLASTN; having two filters lets the
+ablation benches quantify exactly that effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..encoding import INVALID
+from ..io.bank import Bank
+
+__all__ = ["entropy_scores", "entropy_mask"]
+
+#: Defaults: window in characters, entropy floor in bits.
+DEFAULT_WINDOW: int = 64
+DEFAULT_MIN_ENTROPY: float = 1.0
+
+
+def entropy_scores(codes: np.ndarray, window: int = DEFAULT_WINDOW) -> np.ndarray:
+    """Windowed mononucleotide Shannon entropy (bits), at window ends.
+
+    ``scores[j]`` is the entropy of the (up to) ``window`` valid characters
+    ending at position ``j``.  Windows with no valid characters score the
+    maximum (2 bits) so they are never masked on entropy grounds.
+    """
+    if window < 4:
+        raise ValueError(f"window must be >= 4, got {window}")
+    arr = np.asarray(codes, dtype=np.int64)
+    n = arr.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.float64)
+
+    # Per-base prefix counts (4 x (n+1)).
+    prefix = np.zeros((4, n + 1), dtype=np.int64)
+    for b in range(4):
+        prefix[b, 1:] = np.cumsum(arr == b)
+
+    ends = np.arange(n)
+    starts = np.maximum(ends - window + 1, 0)
+    counts = prefix[:, ends + 1] - prefix[:, starts]  # (4, n)
+    totals = counts.sum(axis=0)
+    safe_totals = np.maximum(totals, 1)
+    p = counts / safe_totals
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(p > 0.0, -p * np.log2(p), 0.0)
+    scores = terms.sum(axis=0)
+    scores[totals == 0] = 2.0
+    return scores
+
+
+def entropy_mask(
+    bank: Bank | np.ndarray,
+    window: int = DEFAULT_WINDOW,
+    min_entropy: float = DEFAULT_MIN_ENTROPY,
+) -> np.ndarray:
+    """Boolean mask of characters inside a low-entropy window.
+
+    Only windows that are at least half full of valid characters can mask
+    (prevents sequence edges from being flagged spuriously).  Banks are
+    masked per sequence so masking is concatenation-order independent.
+    """
+    if isinstance(bank, Bank):
+        mask = np.zeros(bank.seq.shape[0], dtype=bool)
+        for i in range(bank.n_sequences):
+            lo, hi = bank.bounds(i)
+            mask[lo:hi] = entropy_mask(
+                np.asarray(bank.seq[lo:hi]), window, min_entropy
+            )
+        return mask
+    codes = np.asarray(bank)
+    n = codes.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    scores = entropy_scores(codes, window=window)
+
+    arr = np.asarray(codes, dtype=np.int64)
+    valid = (arr < INVALID).astype(np.int64)
+    vsum = np.concatenate(([0], np.cumsum(valid)))
+    ends = np.arange(n)
+    starts = np.maximum(ends - window + 1, 0)
+    fullness = vsum[ends + 1] - vsum[starts]
+
+    hot_end = (scores < min_entropy) & (fullness * 2 >= window)
+    if not hot_end.any():
+        return np.zeros(n, dtype=bool)
+    diff = np.zeros(n + 1, dtype=np.int64)
+    idx = np.nonzero(hot_end)[0]
+    lo = np.maximum(idx - window + 1, 0)
+    hi = np.minimum(idx + 1, n)
+    np.add.at(diff, lo, 1)
+    np.add.at(diff, hi, -1)
+    return np.cumsum(diff[:-1]) > 0

@@ -1,0 +1,30 @@
+"""Seed indexing substrate (paper section 2.1, figure 2)."""
+
+from .seed_index import (
+    CommonCodes,
+    CsrSeedIndex,
+    LinkedSeedIndex,
+    valid_window_mask,
+)
+from .asymmetric import build_asymmetric_indexes
+from .persist import load_index, save_index
+from .memory import (
+    IndexMemoryReport,
+    csr_memory_report,
+    index_memory_report,
+    predicted_bytes,
+)
+
+__all__ = [
+    "CommonCodes",
+    "CsrSeedIndex",
+    "LinkedSeedIndex",
+    "valid_window_mask",
+    "build_asymmetric_indexes",
+    "IndexMemoryReport",
+    "csr_memory_report",
+    "index_memory_report",
+    "predicted_bytes",
+    "load_index",
+    "save_index",
+]

@@ -1,0 +1,64 @@
+"""Asymmetric indexing (paper section 3.4).
+
+To recover alignments that the plain 11-nt seeding misses (regions with
+many substitutions where no 11-nt exact word survives), the paper indexes
+**10-nt** words instead, but only *half* of them on one of the two banks:
+
+    "an asymmetric indexing is done on 10-nt words.  Asymmetric means that
+    for one of the two input bank, only half words are considered.  From a
+    sensitivity point of view, this is a little bit more efficient than a
+    11-nt indexing.  All 11-nt seeds are detected together with an average
+    of 50% of the 10-nt seed anchoring."
+
+The coverage argument: any 11-nt exact match contains two overlapping
+10-nt exact matches starting at consecutive offsets, so whichever parity
+the subsampled bank keeps, at least one of the two 10-nt words is indexed
+-- every 11-nt seed hit is still anchored.  Pure 10-nt hits (not extensible
+to 11) are found whenever their position has the kept parity: 50% on
+average.  :func:`build_asymmetric_indexes` packages this construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..io.bank import Bank
+from .seed_index import CsrSeedIndex
+
+__all__ = ["build_asymmetric_indexes"]
+
+
+def build_asymmetric_indexes(
+    bank1: Bank,
+    bank2: Bank,
+    w: int = 10,
+    low_complexity_mask1: np.ndarray | None = None,
+    low_complexity_mask2: np.ndarray | None = None,
+    subsample_bank: int = 2,
+) -> tuple[CsrSeedIndex, CsrSeedIndex]:
+    """Build the (full, half) index pair of the paper's asymmetric mode.
+
+    Parameters
+    ----------
+    bank1, bank2:
+        The two banks to compare.
+    w:
+        Word width; the paper uses 10 against its default of 11.
+    subsample_bank:
+        Which bank gets the half (stride-2) index: 1 or 2.  The paper does
+        not say which side it halves; halving the larger bank saves more
+        memory, so callers typically pass the larger one.  Default halves
+        bank 2.
+
+    Returns
+    -------
+    (index1, index2):
+        ``CsrSeedIndex`` pair ready for the ORIS engine.
+    """
+    if subsample_bank not in (1, 2):
+        raise ValueError("subsample_bank must be 1 or 2")
+    stride1 = 2 if subsample_bank == 1 else 1
+    stride2 = 2 if subsample_bank == 2 else 1
+    index1 = CsrSeedIndex(bank1, w, low_complexity_mask1, stride=stride1)
+    index2 = CsrSeedIndex(bank2, w, low_complexity_mask2, stride=stride2)
+    return index1, index2

@@ -1,0 +1,91 @@
+"""Index memory accounting (paper section 3.1).
+
+The paper states: "The index structure required for storing a bank of size
+N (N is the number of nucleotides) is approximately equal to 5 x N bytes.
+Comparing, for example, two chromosomes of 40 MBytes will require, at
+least, a free memory space of 400 MBytes."
+
+The 5N comes from the C layout of figure 2: 1 byte per character (``SEQ``)
+plus 4 bytes per position (``INDEX``), with the 4**W-entry dictionary as a
+constant term (64 MB at W = 11 with 32-bit entries) that the estimate
+elides for large N.  :func:`index_memory_report` recomputes the exact
+figure for a bank so the claim can be checked quantitatively
+(``benchmarks/bench_index_memory.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..io.bank import Bank
+from .seed_index import CsrSeedIndex, LinkedSeedIndex
+
+__all__ = ["IndexMemoryReport", "index_memory_report", "predicted_bytes"]
+
+#: Element sizes of the paper's C prototype.
+INT_BYTES = 4
+CHAR_BYTES = 1
+
+
+@dataclass(frozen=True)
+class IndexMemoryReport:
+    """Byte accounting of one bank's index in the paper's C layout."""
+
+    bank_nt: int
+    w: int
+    seq_bytes: int
+    index_bytes: int
+    dictionary_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.seq_bytes + self.index_bytes + self.dictionary_bytes
+
+    @property
+    def bytes_per_nt(self) -> float:
+        """Measured bytes per nucleotide (the paper claims ~5)."""
+        return self.total_bytes / max(self.bank_nt, 1)
+
+    @property
+    def bytes_per_nt_excluding_dictionary(self) -> float:
+        """Per-nt cost of the N-proportional parts only (exactly ~5)."""
+        return (self.seq_bytes + self.index_bytes) / max(self.bank_nt, 1)
+
+
+def predicted_bytes(bank_nt: int, w: int = 11) -> int:
+    """The paper's rule of thumb: ``5 * N`` plus the dictionary constant."""
+    return 5 * bank_nt + INT_BYTES * (4**w)
+
+
+def index_memory_report(bank: Bank, w: int = 11) -> IndexMemoryReport:
+    """Account the figure-2 index of *bank* in the paper's element sizes.
+
+    ``SEQ`` stores the concatenated bank including separators; ``INDEX`` is
+    one int per array slot; the dictionary is one int per possible code.
+    """
+    index = LinkedSeedIndex.build(bank, w)
+    n_slots = bank.seq.shape[0]
+    return IndexMemoryReport(
+        bank_nt=bank.size_nt,
+        w=w,
+        seq_bytes=n_slots * CHAR_BYTES,
+        index_bytes=index.nxt.shape[0] * INT_BYTES,
+        dictionary_bytes=index.first.shape[0] * INT_BYTES,
+    )
+
+
+def csr_memory_report(bank: Bank, w: int = 11) -> IndexMemoryReport:
+    """Same accounting for the CSR layout the vectorised engine uses.
+
+    The CSR index stores one int per *indexed position* plus two ints per
+    distinct code; we report the code table in the ``dictionary`` slot so
+    the two layouts are comparable.
+    """
+    index = CsrSeedIndex(bank, w)
+    return IndexMemoryReport(
+        bank_nt=bank.size_nt,
+        w=w,
+        seq_bytes=bank.seq.shape[0] * CHAR_BYTES,
+        index_bytes=index.positions.shape[0] * INT_BYTES,
+        dictionary_bytes=index.unique_codes.shape[0] * 2 * INT_BYTES,
+    )

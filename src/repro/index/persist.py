@@ -1,0 +1,95 @@
+"""Index persistence: save/load a bank + CSR seed index as one ``.npz``.
+
+The paper's setting keeps indexes "into the main memory of the computer";
+for a library, being able to build an index once and reload it (the
+``formatdb`` role in the BLAST ecosystem) is the natural complement.  The
+archive stores the encoded bank, its layout, and the CSR arrays; loading
+reconstructs a :class:`~repro.index.seed_index.CsrSeedIndex` without
+re-sorting.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..io.bank import Bank
+from .seed_index import CsrSeedIndex
+
+__all__ = ["save_index", "load_index"]
+
+#: Archive format version (bump on layout changes).
+FORMAT_VERSION = 1
+
+
+def save_index(path, index: CsrSeedIndex) -> None:
+    """Serialise *index* (with its bank) to ``path`` as ``.npz``."""
+    bank = index.bank
+    meta = {
+        "version": FORMAT_VERSION,
+        "w": index.w,
+        "span": index.span,
+        "mask": index.mask.pattern if index.mask is not None else None,
+        "names": bank.names,
+    }
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        seq=bank.seq,
+        starts=bank.starts,
+        lengths=bank.lengths,
+        positions=index.positions,
+        sorted_codes=index.sorted_codes,
+        unique_codes=index.unique_codes,
+        code_starts=index.code_starts,
+        code_counts=index.code_counts,
+        codes_at=index.codes_at,
+    )
+
+
+def load_index(path) -> CsrSeedIndex:
+    """Load an index saved with :func:`save_index`.
+
+    The bank is reconstructed from the stored arrays; the CSR arrays are
+    installed directly (no re-sorting).
+    """
+    with np.load(path) as z:
+        meta = json.loads(bytes(z["meta"]).decode("utf-8"))
+        if meta.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index archive version {meta.get('version')!r}"
+            )
+        seq = z["seq"]
+        starts = z["starts"]
+        lengths = z["lengths"]
+        names = list(meta["names"])
+
+        # Rebuild the bank from its stored pieces (bypass __init__'s
+        # re-concatenation: the array is already laid out).
+        bank = Bank.__new__(Bank)
+        bank.names = names
+        bank.lengths = lengths
+        bank.starts = starts
+        bank._ends = starts + lengths
+        seq = seq.copy()
+        seq.flags.writeable = False
+        bank.seq = seq
+
+        from ..encoding.spaced import SpacedSeedMask
+
+        index = CsrSeedIndex.__new__(CsrSeedIndex)
+        index.bank = bank
+        index.w = int(meta["w"])
+        index.span = int(meta.get("span", meta["w"]))
+        mask_pattern = meta.get("mask")
+        index.mask = SpacedSeedMask(mask_pattern) if mask_pattern else None
+        index.positions = z["positions"].copy()
+        index.sorted_codes = z["sorted_codes"].copy()
+        index.unique_codes = z["unique_codes"].copy()
+        index.code_starts = z["code_starts"].copy()
+        index.code_counts = z["code_counts"].copy()
+        index.codes_at = z["codes_at"].copy()
+        index._indexed_mask = None
+        index._cutoff_codes = None
+        return index

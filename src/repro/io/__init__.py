@@ -1,0 +1,27 @@
+"""Input/output substrate: FASTA parsing, in-memory banks, ``-m 8`` records."""
+
+from .fasta import (
+    FastaError,
+    FastaRecord,
+    format_fasta,
+    iter_fasta,
+    read_fasta,
+    write_fasta,
+)
+from .bank import Bank
+from .m8 import M8Record, format_m8, parse_m8, read_m8, write_m8
+
+__all__ = [
+    "FastaError",
+    "FastaRecord",
+    "format_fasta",
+    "iter_fasta",
+    "read_fasta",
+    "write_fasta",
+    "Bank",
+    "M8Record",
+    "format_m8",
+    "parse_m8",
+    "read_m8",
+    "write_m8",
+]

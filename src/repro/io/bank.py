@@ -1,0 +1,212 @@
+"""In-memory DNA banks: the ``SEQ`` array of the paper's index structure.
+
+A *bank* (the paper's term) is either a set of many sequences (an EST bank,
+a GenBank division) or a single huge sequence (a chromosome).  Following
+figure 2 of the paper, all sequences of a bank are concatenated into one
+contiguous ``char`` array (here: an ``int8`` NumPy array of 2-bit codes)
+over which the seed index is built.
+
+Sequence boundaries are materialised as separator bytes carrying the
+:data:`~repro.encoding.codes.INVALID` code.  The layout is::
+
+    [SEP] seq_0 [SEP] seq_1 [SEP] ... seq_{k-1} [SEP]
+
+Separators serve three purposes at once:
+
+* a seed window containing a separator gets an invalid seed code, so no
+  seed ever spans two sequences;
+* ungapped/gapped extensions hard-stop on a separator, so no alignment ever
+  crosses a sequence boundary;
+* the leading and trailing separators make every in-bank extension's first
+  out-of-range access land on a valid array element, which lets the
+  vectorised extension kernels run without per-step bounds checks (they
+  deactivate a lane the moment it touches a separator).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from ..encoding import INVALID, decode, encode, reverse_complement
+from .fasta import iter_fasta, write_fasta
+
+__all__ = ["Bank"]
+
+
+class Bank:
+    """A bank of DNA sequences concatenated into one encoded array.
+
+    Attributes
+    ----------
+    seq:
+        ``int8`` array: the concatenated encoded bank including separators.
+        Read-only (the seed index caches views into it).
+    names:
+        Sequence identifiers, in concatenation order.
+    starts:
+        ``int64`` array; ``starts[i]`` is the global index in :attr:`seq` of
+        the first character of sequence ``i``.
+    lengths:
+        ``int64`` array of per-sequence lengths (in nucleotides).
+    """
+
+    __slots__ = ("seq", "names", "starts", "lengths", "_ends")
+
+    def __init__(self, names: list[str], encoded_seqs: list[np.ndarray]):
+        if len(names) != len(encoded_seqs):
+            raise ValueError("names and sequences length mismatch")
+        if len(names) == 0:
+            raise ValueError("a Bank must contain at least one sequence")
+        for i, s in enumerate(encoded_seqs):
+            if len(s) == 0:
+                raise ValueError(f"sequence {names[i]!r} is empty")
+
+        self.names = list(names)
+        lengths = np.array([len(s) for s in encoded_seqs], dtype=np.int64)
+        self.lengths = lengths
+        total = int(lengths.sum()) + len(encoded_seqs) + 1
+        seq = np.full(total, INVALID, dtype=np.int8)
+        starts = np.empty(len(encoded_seqs), dtype=np.int64)
+        pos = 1  # index 0 is the leading separator
+        for i, s in enumerate(encoded_seqs):
+            starts[i] = pos
+            seq[pos : pos + len(s)] = s
+            pos += len(s) + 1  # +1 for the separator after this sequence
+        self.starts = starts
+        self._ends = starts + lengths
+        seq.flags.writeable = False
+        self.seq = seq
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_strings(
+        cls, records: Iterable[tuple[str, str]] | Iterable[str]
+    ) -> "Bank":
+        """Build a bank from ``(name, sequence)`` pairs or bare strings.
+
+        Bare strings are auto-named ``seq0``, ``seq1``, ...
+        """
+        names: list[str] = []
+        encoded: list[np.ndarray] = []
+        for i, rec in enumerate(records):
+            if isinstance(rec, str):
+                name, sequence = f"seq{i}", rec
+            else:
+                name, sequence = rec
+            names.append(name)
+            encoded.append(encode(sequence))
+        return cls(names, encoded)
+
+    @classmethod
+    def from_fasta(cls, source) -> "Bank":
+        """Build a bank from a FASTA path or stream."""
+        names: list[str] = []
+        encoded: list[np.ndarray] = []
+        for name, sequence in iter_fasta(source):
+            names.append(name)
+            encoded.append(encode(sequence))
+        if not names:
+            raise ValueError("FASTA input contains no sequences")
+        return cls(names, encoded)
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_sequences(self) -> int:
+        """Number of sequences in the bank."""
+        return len(self.names)
+
+    @property
+    def size_nt(self) -> int:
+        """Total number of nucleotides (the paper's bank size, in nt)."""
+        return int(self.lengths.sum())
+
+    @property
+    def size_mbp(self) -> float:
+        """Bank size in Mbp, as reported in the paper's data-set table."""
+        return self.size_nt / 1e6
+
+    def __len__(self) -> int:
+        return self.n_sequences
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Bank(n_sequences={self.n_sequences}, size_nt={self.size_nt}, "
+            f"array_len={self.seq.shape[0]})"
+        )
+
+    def sequence_str(self, index: int) -> str:
+        """Decoded string of sequence ``index`` (invalid codes become N)."""
+        s, e = self.bounds(index)
+        return decode(self.seq[s:e])
+
+    def bounds(self, index: int) -> tuple[int, int]:
+        """Global ``(start, end)`` (end exclusive) of sequence ``index``."""
+        if not 0 <= index < self.n_sequences:
+            raise IndexError(f"sequence index {index} out of range")
+        return int(self.starts[index]), int(self._ends[index])
+
+    def iter_records(self) -> Iterator[tuple[str, str]]:
+        """Yield ``(name, sequence_string)`` pairs (for FASTA round-trip)."""
+        for i, name in enumerate(self.names):
+            yield name, self.sequence_str(i)
+
+    def to_fasta(self, path, width: int = 70) -> None:
+        """Write the bank back out as FASTA."""
+        write_fasta(path, self.iter_records(), width=width)
+
+    # ------------------------------------------------------------------ #
+    # Coordinate mapping
+    # ------------------------------------------------------------------ #
+
+    def locate(self, gpos: int) -> tuple[int, int]:
+        """Map a global array position to ``(sequence_index, local_pos)``.
+
+        Raises ``ValueError`` if ``gpos`` points at a separator or outside
+        the array.
+        """
+        idx = int(np.searchsorted(self.starts, gpos, side="right")) - 1
+        if idx < 0 or gpos >= self._ends[idx]:
+            raise ValueError(f"global position {gpos} is not inside a sequence")
+        return idx, int(gpos - self.starts[idx])
+
+    def locate_many(self, gpos: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`locate`; invalid positions raise ``ValueError``."""
+        gpos = np.asarray(gpos, dtype=np.int64)
+        idx = np.searchsorted(self.starts, gpos, side="right") - 1
+        if (idx < 0).any():
+            raise ValueError("global position before first sequence")
+        if (gpos >= self._ends[idx]).any():
+            raise ValueError("global position on a separator or past the end")
+        return idx, gpos - self.starts[idx]
+
+    def sequence_length(self, index: int) -> int:
+        """Length of sequence ``index`` in nucleotides."""
+        if not 0 <= index < self.n_sequences:
+            raise IndexError(f"sequence index {index} out of range")
+        return int(self.lengths[index])
+
+    # ------------------------------------------------------------------ #
+    # Strand support (the paper's announced future feature)
+    # ------------------------------------------------------------------ #
+
+    def reverse_complemented(self) -> "Bank":
+        """A new bank with every sequence reverse-complemented in place.
+
+        Sequence order and names are preserved, so local position ``p`` in
+        sequence ``i`` of the result corresponds to position
+        ``lengths[i] - 1 - p`` of the original -- the mapping used to report
+        minus-strand coordinates in BLAST ``-m 8`` convention.
+        """
+        encoded = []
+        for i in range(self.n_sequences):
+            s, e = self.bounds(i)
+            encoded.append(reverse_complement(self.seq[s:e]))
+        return Bank(list(self.names), encoded)

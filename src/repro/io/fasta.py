@@ -1,0 +1,140 @@
+"""Minimal, strict FASTA reader/writer.
+
+The ORIS paper takes its two input banks directly as FASTA files
+(section 2.1: "Bank indexing is directly performed from FASTA format input
+files").  This module provides the parsing substrate: it yields
+``(identifier, sequence)`` pairs, tolerating the format variations that
+occur in real GenBank exports (wrapped lines, Windows line endings, blank
+lines, comment lines starting with ``;``) while rejecting clearly corrupt
+input instead of silently mis-parsing it.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "FastaError",
+    "FastaRecord",
+    "iter_fasta",
+    "read_fasta",
+    "write_fasta",
+    "format_fasta",
+]
+
+
+class FastaError(ValueError):
+    """Raised when input text is not valid FASTA."""
+
+
+class FastaRecord(tuple):
+    """A ``(name, sequence)`` pair with named access.
+
+    Implemented as a tuple subclass so records unpack naturally
+    (``for name, seq in read_fasta(...)``) while still offering
+    ``record.name`` / ``record.sequence``.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, name: str, sequence: str):
+        return super().__new__(cls, (name, sequence))
+
+    @property
+    def name(self) -> str:
+        """Identifier: first whitespace-delimited token of the header."""
+        return self[0]
+
+    @property
+    def sequence(self) -> str:
+        """The sequence with all line breaks removed."""
+        return self[1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        seq = self.sequence
+        shown = seq if len(seq) <= 20 else seq[:17] + "..."
+        return f"FastaRecord(name={self.name!r}, sequence={shown!r})"
+
+
+def _open_text(source) -> tuple[io.TextIOBase, bool]:
+    """Return a text stream for *source* and whether we own (must close) it."""
+    if isinstance(source, (str, os.PathLike)):
+        return open(source, "r", encoding="ascii", errors="replace"), True
+    if isinstance(source, io.TextIOBase):
+        return source, False
+    if hasattr(source, "read"):
+        # Binary stream: wrap it.
+        return io.TextIOWrapper(source, encoding="ascii", errors="replace"), False
+    raise TypeError(f"cannot read FASTA from {type(source).__name__}")
+
+
+def iter_fasta(source) -> Iterator[FastaRecord]:
+    """Stream FASTA records from a path, text stream, or binary stream.
+
+    The identifier of each record is the first whitespace-delimited token of
+    its ``>`` header line; the remainder of the header (the description) is
+    discarded, matching how BLAST-style tools key their tabular output.
+
+    Raises
+    ------
+    FastaError
+        If sequence data appears before the first header, or a header line
+        is empty.
+    """
+    stream, owned = _open_text(source)
+    try:
+        name: str | None = None
+        chunks: list[str] = []
+        for lineno, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line or line.startswith(";"):
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    yield FastaRecord(name, "".join(chunks))
+                header = line[1:].strip()
+                if not header:
+                    raise FastaError(f"empty FASTA header at line {lineno}")
+                name = header.split()[0]
+                chunks = []
+            else:
+                if name is None:
+                    raise FastaError(
+                        f"sequence data before first '>' header at line {lineno}"
+                    )
+                chunks.append(line)
+        if name is not None:
+            yield FastaRecord(name, "".join(chunks))
+    finally:
+        if owned:
+            stream.close()
+
+
+def read_fasta(source) -> list[FastaRecord]:
+    """Read all FASTA records into a list (see :func:`iter_fasta`)."""
+    return list(iter_fasta(source))
+
+
+def format_fasta(records: Iterable[tuple[str, str]], width: int = 70) -> str:
+    """Format ``(name, sequence)`` pairs as FASTA text.
+
+    ``width`` controls line wrapping of the sequence; ``width <= 0`` writes
+    each sequence on a single line.
+    """
+    out: list[str] = []
+    for name, seq in records:
+        out.append(f">{name}\n")
+        if width <= 0:
+            out.append(seq + "\n")
+        else:
+            for i in range(0, len(seq), width):
+                out.append(seq[i : i + width] + "\n")
+    return "".join(out)
+
+
+def write_fasta(path, records: Iterable[tuple[str, str]], width: int = 70) -> None:
+    """Write records to *path* in FASTA format (see :func:`format_fasta`)."""
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(format_fasta(records, width=width))

@@ -1,0 +1,156 @@
+"""BLAST ``-m 8`` tabular alignment records.
+
+The paper's prototype "only displays the alignment features as it is done
+in the -m 8 option of BLASTN" (section 3.1), and the sensitivity evaluation
+(section 3.4) is computed by comparing two such files.  This module is the
+shared output format of every engine in this reproduction, so the
+evaluation harness can diff them exactly as the paper does.
+
+The 12 classic columns are::
+
+    query id, subject id, % identity, alignment length, mismatches,
+    gap openings, q. start, q. end, s. start, s. end, e-value, bit score
+
+Coordinates are 1-based and inclusive; on the minus strand the subject
+start is greater than the subject end (BLAST convention).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+
+__all__ = ["M8Record", "parse_m8", "read_m8", "write_m8", "format_m8"]
+
+
+@dataclass(frozen=True, slots=True)
+class M8Record:
+    """One line of ``-m 8`` output."""
+
+    query_id: str
+    subject_id: str
+    pident: float
+    length: int
+    mismatches: int
+    gap_openings: int
+    q_start: int
+    q_end: int
+    s_start: int
+    s_end: int
+    evalue: float
+    bit_score: float
+
+    # -------------------------------------------------------------- #
+    # Derived geometry (used by the sensitivity metric)
+    # -------------------------------------------------------------- #
+
+    @property
+    def q_span(self) -> tuple[int, int]:
+        """Query interval as half-open 0-based ``(start, end)``."""
+        lo, hi = sorted((self.q_start, self.q_end))
+        return lo - 1, hi
+
+    @property
+    def s_span(self) -> tuple[int, int]:
+        """Subject interval as half-open 0-based ``(start, end)``."""
+        lo, hi = sorted((self.s_start, self.s_end))
+        return lo - 1, hi
+
+    @property
+    def minus_strand(self) -> bool:
+        """True when the subject coordinates are reported reversed."""
+        return self.s_start > self.s_end
+
+    # -------------------------------------------------------------- #
+    # Serialisation
+    # -------------------------------------------------------------- #
+
+    def to_line(self) -> str:
+        """Format as a tab-separated ``-m 8`` line (no newline)."""
+        return "\t".join(
+            (
+                self.query_id,
+                self.subject_id,
+                f"{self.pident:.2f}",
+                str(self.length),
+                str(self.mismatches),
+                str(self.gap_openings),
+                str(self.q_start),
+                str(self.q_end),
+                str(self.s_start),
+                str(self.s_end),
+                _format_evalue(self.evalue),
+                f"{self.bit_score:.1f}",
+            )
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "M8Record":
+        """Parse a tab-separated ``-m 8`` line."""
+        parts = line.rstrip("\n").split("\t")
+        if len(parts) < 12:
+            raise ValueError(f"m8 line has {len(parts)} fields, expected 12")
+        return cls(
+            query_id=parts[0],
+            subject_id=parts[1],
+            pident=float(parts[2]),
+            length=int(parts[3]),
+            mismatches=int(parts[4]),
+            gap_openings=int(parts[5]),
+            q_start=int(parts[6]),
+            q_end=int(parts[7]),
+            s_start=int(parts[8]),
+            s_end=int(parts[9]),
+            evalue=float(parts[10]),
+            bit_score=float(parts[11]),
+        )
+
+
+def _format_evalue(e: float) -> str:
+    """Format an e-value the way BLAST does (short scientific / decimal)."""
+    if e <= 0.0:
+        return "0.0"
+    if e >= 0.1:
+        return f"{e:.2f}"
+    if math.isinf(e) or math.isnan(e):  # pragma: no cover - defensive
+        return str(e)
+    return f"{e:.0e}".replace("e-0", "e-")
+
+
+def parse_m8(text: str) -> list[M8Record]:
+    """Parse ``-m 8`` text (skipping blank and ``#`` comment lines)."""
+    out = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        out.append(M8Record.from_line(stripped))
+    return out
+
+
+def read_m8(path) -> list[M8Record]:
+    """Read an ``-m 8`` file."""
+    with open(path, "r", encoding="ascii") as fh:
+        return parse_m8(fh.read())
+
+
+def format_m8(records: Iterable[M8Record]) -> str:
+    """Format records as ``-m 8`` text."""
+    return "".join(rec.to_line() + "\n" for rec in records)
+
+
+def write_m8(path, records: Iterable[M8Record]) -> None:
+    """Write records to an ``-m 8`` file."""
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(format_m8(records))
+
+
+def iter_m8(path) -> Iterator[M8Record]:
+    """Stream records from an ``-m 8`` file (memory-light variant)."""
+    with open(path, "r", encoding="ascii") as fh:
+        for line in fh:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            yield M8Record.from_line(stripped)

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.align.scoring import ScoringScheme
+from repro.data.synthetic import Transcriptome, make_est_bank, random_dna
+from repro.io.bank import Bank
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; tests that need different streams reseed."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def scoring() -> ScoringScheme:
+    return ScoringScheme()
+
+
+@pytest.fixture
+def small_bank(rng) -> Bank:
+    """Three short sequences with one N and mixed case in the source."""
+    return Bank.from_strings(
+        [
+            ("alpha", random_dna(rng, 200)),
+            ("beta", random_dna(rng, 150) + "N" + random_dna(rng, 49)),
+            ("gamma", random_dna(rng, 80)),
+        ]
+    )
+
+
+@pytest.fixture
+def homologous_banks(rng) -> tuple[Bank, Bank, str]:
+    """Two single-sequence banks sharing one exact 60-nt core.
+
+    Returns (bank1, bank2, core); the core starts at local position 30 in
+    each sequence.
+    """
+    core = random_dna(rng, 60)
+    s1 = random_dna(rng, 30) + core + random_dna(rng, 30)
+    s2 = random_dna(rng, 30) + core + random_dna(rng, 40)
+    return (
+        Bank.from_strings([("one", s1)]),
+        Bank.from_strings([("two", s2)]),
+        core,
+    )
+
+
+@pytest.fixture(scope="session")
+def est_pair() -> tuple[Bank, Bank]:
+    """A pair of EST banks from a shared transcriptome (session-scoped:
+    several end-to-end tests reuse it)."""
+    rng = np.random.default_rng(77)
+    tx = Transcriptome.generate(rng, n_genes=25, mean_len=600)
+    return make_est_bank(rng, tx, 60), make_est_bank(rng, tx, 60)

@@ -1,0 +1,155 @@
+"""Tests for Bank (repro.io.bank): layout, coordinates, strand support."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding import INVALID
+from repro.io.bank import Bank
+
+
+class TestLayout:
+    def test_separator_layout(self):
+        b = Bank.from_strings([("a", "ACGT"), ("b", "TT")])
+        # [SEP] A C G T [SEP] T T [SEP]
+        assert b.seq.shape[0] == 4 + 2 + 3
+        assert b.seq[0] == INVALID
+        assert b.seq[5] == INVALID
+        assert b.seq[-1] == INVALID
+
+    def test_leading_and_trailing_separator(self):
+        b = Bank.from_strings([("a", "ACGT")])
+        assert b.seq[0] == INVALID and b.seq[-1] == INVALID
+
+    def test_sizes(self):
+        b = Bank.from_strings([("a", "ACGT"), ("b", "TT")])
+        assert b.size_nt == 6
+        assert b.n_sequences == 2
+        assert len(b) == 2
+        assert b.size_mbp == pytest.approx(6e-6)
+
+    def test_array_read_only(self):
+        b = Bank.from_strings([("a", "ACGT")])
+        with pytest.raises(ValueError):
+            b.seq[1] = 0
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ValueError):
+            Bank.from_strings([])
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            Bank.from_strings([("a", "")])
+
+    def test_mismatched_names_rejected(self):
+        with pytest.raises(ValueError):
+            Bank(["a", "b"], [np.zeros(3, dtype=np.int8)])
+
+    def test_auto_names(self):
+        b = Bank.from_strings(["ACG", "TTT"])
+        assert b.names == ["seq0", "seq1"]
+
+    def test_n_encoded_invalid(self):
+        b = Bank.from_strings([("a", "ANT")])
+        s, _ = b.bounds(0)
+        assert b.seq[s + 1] == INVALID
+
+
+class TestCoordinates:
+    def test_bounds(self):
+        b = Bank.from_strings([("a", "ACGT"), ("b", "TT")])
+        assert b.bounds(0) == (1, 5)
+        assert b.bounds(1) == (6, 8)
+
+    def test_bounds_out_of_range(self):
+        b = Bank.from_strings([("a", "ACGT")])
+        with pytest.raises(IndexError):
+            b.bounds(1)
+
+    def test_locate(self):
+        b = Bank.from_strings([("a", "ACGT"), ("b", "TT")])
+        assert b.locate(1) == (0, 0)
+        assert b.locate(4) == (0, 3)
+        assert b.locate(6) == (1, 0)
+
+    def test_locate_separator_raises(self):
+        b = Bank.from_strings([("a", "ACGT"), ("b", "TT")])
+        for pos in (0, 5, 8):
+            with pytest.raises(ValueError):
+                b.locate(pos)
+
+    def test_locate_many(self):
+        b = Bank.from_strings([("a", "ACGT"), ("b", "TT")])
+        idx, local = b.locate_many(np.array([1, 4, 6, 7]))
+        assert list(idx) == [0, 0, 1, 1]
+        assert list(local) == [0, 3, 0, 1]
+
+    def test_locate_many_rejects_separator(self):
+        b = Bank.from_strings([("a", "ACGT")])
+        with pytest.raises(ValueError):
+            b.locate_many(np.array([0]))
+
+    def test_sequence_length(self):
+        b = Bank.from_strings([("a", "ACGT"), ("b", "TT")])
+        assert b.sequence_length(0) == 4
+        assert b.sequence_length(1) == 2
+
+    @given(
+        st.lists(st.text(alphabet="ACGT", min_size=1, max_size=30), min_size=1, max_size=8)
+    )
+    def test_locate_inverts_bounds(self, seqs):
+        b = Bank.from_strings(seqs)
+        for i in range(b.n_sequences):
+            s, e = b.bounds(i)
+            assert b.locate(s) == (i, 0)
+            assert b.locate(e - 1) == (i, e - s - 1)
+
+
+class TestRoundTrips:
+    def test_sequence_str(self):
+        b = Bank.from_strings([("a", "ACGT"), ("b", "TTNA")])
+        assert b.sequence_str(0) == "ACGT"
+        assert b.sequence_str(1) == "TTNA"
+
+    def test_fasta_round_trip(self, tmp_path):
+        b = Bank.from_strings([("a", "ACGTACGT"), ("b", "TTTT")])
+        path = tmp_path / "bank.fa"
+        b.to_fasta(path)
+        b2 = Bank.from_fasta(path)
+        assert b2.names == b.names
+        assert np.array_equal(b2.seq, b.seq)
+
+    def test_from_fasta_stream(self):
+        b = Bank.from_fasta(io.StringIO(">x\nACGT\n"))
+        assert b.sequence_str(0) == "ACGT"
+
+    def test_from_fasta_empty_raises(self):
+        with pytest.raises(ValueError):
+            Bank.from_fasta(io.StringIO(""))
+
+
+class TestReverseComplement:
+    def test_per_sequence_rc(self):
+        b = Bank.from_strings([("a", "AACG"), ("b", "TTT")])
+        rc = b.reverse_complemented()
+        assert rc.sequence_str(0) == "CGTT"
+        assert rc.sequence_str(1) == "AAA"
+        assert rc.names == b.names
+
+    def test_double_rc_identity(self):
+        b = Bank.from_strings([("a", "ACGTTGCA"), ("b", "GGGTT")])
+        rc2 = b.reverse_complemented().reverse_complemented()
+        assert np.array_equal(rc2.seq, b.seq)
+
+    def test_coordinate_mapping(self):
+        # local p on rc == length-1-p on original
+        b = Bank.from_strings([("a", "ACGTT")])
+        rc = b.reverse_complemented()
+        orig = b.sequence_str(0)
+        flipped = rc.sequence_str(0)
+        comp = {"A": "T", "C": "G", "G": "C", "T": "A"}
+        for p in range(5):
+            assert flipped[p] == comp[orig[len(orig) - 1 - p]]

@@ -1,0 +1,136 @@
+"""Unit tests for BLASTN-baseline internals (repro.baselines.blastn)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.blastn import (
+    BlastnEngine,
+    BlastnParams,
+    _BatchLookup,
+    _segmented_forward_max,
+    _two_hit_filter,
+)
+from repro.data.synthetic import random_dna
+from repro.encoding import invalid_code, seed_codes
+from repro.index.seed_index import valid_window_mask
+from repro.io.bank import Bank
+
+
+class TestSegmentedForwardMax:
+    def test_single_group(self):
+        v = np.array([-1, 5, -1, 3, -1], dtype=np.int64)
+        g = np.zeros(5, dtype=np.int64)
+        out = _segmented_forward_max(v, g)
+        assert list(out) == [-1, 5, 5, 5, 5]
+
+    def test_groups_do_not_leak(self):
+        v = np.array([9, -1, -1, -1], dtype=np.int64)
+        g = np.array([0, 0, 1, 1], dtype=np.int64)
+        out = _segmented_forward_max(v, g)
+        assert list(out) == [9, 9, -1, -1]
+
+    def test_monotone_within_group(self):
+        v = np.array([2, 7, 4, 9], dtype=np.int64)
+        g = np.zeros(4, dtype=np.int64)
+        out = _segmented_forward_max(v, g)
+        assert list(out) == [2, 7, 7, 9]
+
+
+class TestBatchLookup:
+    def make(self, rng, w=6):
+        b = Bank.from_strings([("a", random_dna(rng, 300)), ("b", random_dna(rng, 200))])
+        codes = seed_codes(b.seq, w)
+        ok = valid_window_mask(b, w, None)
+        return b, codes, ok
+
+    def test_join_finds_exact_hits(self, rng):
+        w = 6
+        b, codes, ok = self.make(rng, w)
+        lo, hi = b.bounds(0)[0], b.bounds(1)[1]
+        lookup = _BatchLookup(codes, ok, lo, hi)
+        bad = invalid_code(w)
+        db_codes = np.where(ok, codes, bad)
+        db_pos, q_pos = lookup.join(db_codes)
+        # self-join: every valid position must hit itself at least
+        n_valid = int(ok.sum())
+        hits = set(zip(db_pos.tolist(), q_pos.tolist()))
+        for p in np.nonzero(ok)[0][:50]:
+            assert (int(p), int(p)) in hits
+        assert len(db_pos) >= n_valid
+
+    def test_window_restriction(self, rng):
+        w = 6
+        b, codes, ok = self.make(rng, w)
+        s1, e1 = b.bounds(0)
+        lookup = _BatchLookup(codes, ok, s1, e1)  # first sequence only
+        bad = invalid_code(w)
+        db_codes = np.where(ok, codes, bad)
+        _, q_pos = lookup.join(db_codes)
+        assert q_pos.size == 0 or q_pos.max() < e1
+
+    def test_empty_batch(self, rng):
+        w = 6
+        b, codes, ok = self.make(rng, w)
+        lookup = _BatchLookup(codes, np.zeros_like(ok), 0, len(codes))
+        assert lookup.n_words == 0
+        db, q = lookup.join(codes)
+        assert db.size == 0 and q.size == 0
+
+
+class TestTwoHitFilter:
+    def test_pair_within_window_kept(self):
+        w = 11
+        # two non-overlapping hits on one diagonal, 20 apart
+        db = np.array([100, 120], dtype=np.int64)
+        q = np.array([50, 70], dtype=np.int64)
+        db2, q2 = _two_hit_filter(db, q, w, window=40)
+        assert list(db2) == [120]  # the second (triggering) hit survives
+
+    def test_overlapping_pair_dropped(self):
+        w = 11
+        db = np.array([100, 105], dtype=np.int64)  # overlap (< w apart)
+        q = np.array([50, 55], dtype=np.int64)
+        db2, _ = _two_hit_filter(db, q, w, window=40)
+        assert db2.size == 0
+
+    def test_far_pair_dropped(self):
+        w = 11
+        db = np.array([100, 200], dtype=np.int64)  # beyond window
+        q = np.array([50, 150], dtype=np.int64)
+        db2, _ = _two_hit_filter(db, q, w, window=40)
+        assert db2.size == 0
+
+    def test_different_diagonals_not_paired(self):
+        w = 11
+        db = np.array([100, 120], dtype=np.int64)
+        q = np.array([50, 65], dtype=np.int64)  # diag 50 vs 55
+        db2, _ = _two_hit_filter(db, q, w, window=40)
+        assert db2.size == 0
+
+
+class TestQueryBatches:
+    def test_whole_sequences_only(self, rng):
+        b = Bank.from_strings(
+            [(f"s{i}", random_dna(rng, 100 + 10 * i)) for i in range(5)]
+        )
+        engine = BlastnEngine(BlastnParams(query_batch_nt=250))
+        batches = list(engine._query_batches(b))
+        # every batch boundary coincides with sequence bounds
+        bounds = {b.bounds(i)[0] for i in range(5)} | {b.bounds(i)[1] for i in range(5)}
+        for lo, hi in batches:
+            assert lo in bounds and hi in bounds
+        # batches cover all sequences in order without overlap
+        assert batches[0][0] == b.bounds(0)[0]
+        assert batches[-1][1] == b.bounds(4)[1]
+        for (a1, b1), (a2, b2) in zip(batches, batches[1:]):
+            assert b1 <= a2
+
+    def test_per_query_default(self, rng):
+        b = Bank.from_strings([(f"s{i}", random_dna(rng, 50)) for i in range(4)])
+        engine = BlastnEngine(BlastnParams())  # query_batch_nt=1
+        assert len(list(engine._query_batches(b))) == 4
+
+    def test_single_big_batch(self, rng):
+        b = Bank.from_strings([(f"s{i}", random_dna(rng, 50)) for i in range(4)])
+        engine = BlastnEngine(BlastnParams(query_batch_nt=10**9))
+        assert len(list(engine._query_batches(b))) == 1

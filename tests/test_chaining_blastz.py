@@ -1,0 +1,157 @@
+"""Tests for HSP chaining and the BLASTZ-like baseline."""
+
+import numpy as np
+import pytest
+
+from repro.align.chaining import Chain, ChainingParams, chain_hsps
+from repro.baselines import (
+    BLASTZ_SEED,
+    BLASTZ_SEED_TRANSITION,
+    BlastzEngine,
+    BlastzParams,
+)
+from repro.core import OrisEngine, OrisParams
+from repro.data.synthetic import mutate, random_dna
+from repro.encoding import SubsetSeedMask
+from repro.io.bank import Bank
+
+
+def boxes(*rows):
+    """rows of (s1, e1, s2, e2, score) -> parallel arrays."""
+    a = np.array(rows, dtype=np.int64)
+    return a[:, 0], a[:, 1], a[:, 2], a[:, 3], a[:, 4].astype(np.float64)
+
+
+class TestChainHsps:
+    def test_single_anchor(self):
+        chains = chain_hsps(*boxes((0, 10, 0, 10, 10)))
+        assert len(chains) == 1
+        assert chains[0].members == (0,)
+        assert chains[0].score == 10
+
+    def test_colinear_pair_chained(self):
+        chains = chain_hsps(*boxes((0, 10, 0, 10, 10), (20, 30, 22, 32, 10)))
+        assert len(chains) == 1
+        assert chains[0].members == (0, 1)
+        # score = 10 + 10 - gap(2 diag drift, 10 distance)
+        assert chains[0].score == pytest.approx(10 + 10 - 2 * 2 - 0.05 * 10)
+
+    def test_non_colinear_not_chained(self):
+        # second box earlier on axis 2: crossing, two chains
+        chains = chain_hsps(*boxes((20, 30, 0, 10, 10), (0, 10, 20, 30, 10)))
+        assert len(chains) == 2
+        assert all(c.n_anchors == 1 for c in chains)
+
+    def test_overlapping_not_chained(self):
+        chains = chain_hsps(*boxes((0, 10, 0, 10, 10), (5, 15, 5, 15, 10)))
+        assert len(chains) == 2
+
+    def test_far_link_forbidden(self):
+        params = ChainingParams(max_link=50)
+        chains = chain_hsps(
+            *boxes((0, 10, 0, 10, 10), (1000, 1010, 1000, 1010, 10)),
+            params=params,
+        )
+        assert len(chains) == 2
+
+    def test_heavy_gap_breaks_chain(self):
+        params = ChainingParams(gap_per_diag=100.0)
+        chains = chain_hsps(
+            *boxes((0, 10, 0, 10, 10), (20, 30, 60, 70, 10)), params=params
+        )
+        assert len(chains) == 2  # 40-diag drift at cost 100/diag: never
+
+    def test_three_anchor_chain(self):
+        chains = chain_hsps(
+            *boxes(
+                (0, 10, 0, 10, 10),
+                (15, 25, 16, 26, 10),
+                (30, 40, 32, 42, 10),
+                (500, 510, 5, 15, 10),  # off-chain outlier
+            )
+        )
+        assert chains[0].n_anchors == 3
+        assert chains[0].members == (0, 1, 2)
+
+    def test_single_coverage(self):
+        chains = chain_hsps(
+            *boxes((0, 10, 0, 10, 10), (20, 30, 20, 30, 50), (40, 50, 40, 50, 10))
+        )
+        seen = [m for c in chains for m in c.members]
+        assert len(seen) == len(set(seen))
+
+    def test_min_chain_score_filter(self):
+        params = ChainingParams(min_chain_score=100.0)
+        chains = chain_hsps(*boxes((0, 10, 0, 10, 10)), params=params)
+        assert chains == []
+
+    def test_empty(self):
+        z = np.empty(0, dtype=np.int64)
+        assert chain_hsps(z, z, z, z, z.astype(np.float64)) == []
+
+    def test_chains_sorted_by_score(self):
+        chains = chain_hsps(
+            *boxes((0, 10, 0, 10, 5), (100, 160, 100, 160, 60))
+        )
+        assert chains[0].score >= chains[-1].score
+
+
+class TestBlastzSeeds:
+    def test_templates_valid(self):
+        exact = SubsetSeedMask(BLASTZ_SEED.replace("-", "-"))
+        trans = SubsetSeedMask(BLASTZ_SEED_TRANSITION)
+        assert exact.span == trans.span == 19
+        assert exact.n_exact == 12
+        assert trans.n_exact == 2 and trans.n_transition == 10
+
+    def test_12_of_19_pattern(self):
+        assert BLASTZ_SEED.count("#") == 12
+        assert len(BLASTZ_SEED) == 19
+
+
+class TestBlastzEngine:
+    def test_finds_gapped_homology(self, rng):
+        core = random_dna(rng, 600)
+        # two indel events: chaining across them
+        mut = core[:200] + core[208:400] + "GTAC" + core[400:]
+        mut = mutate(rng, mut, sub_rate=0.04, indel_rate=0.0)
+        b1 = Bank.from_strings([("q", core)])
+        b2 = Bank.from_strings([("s", mut)])
+        res = BlastzEngine(BlastzParams()).compare(b1, b2)
+        assert len(res.records) >= 1
+        assert sum(r.length for r in res.records) >= 500
+
+    def test_chaining_reduces_gapped_seeds(self, rng):
+        core = random_dna(rng, 800)
+        mut = mutate(rng, core, sub_rate=0.06, indel_rate=0.01)
+        b1 = Bank.from_strings([("q", core)])
+        b2 = Bank.from_strings([("s", mut)])
+        res = BlastzEngine(BlastzParams()).compare(b1, b2)
+        # chain filter collapses colinear anchors: fewer gapped extensions
+        # than HSPs whenever any chain has >1 anchor
+        assert res.counters.n_gapped_extensions <= res.counters.n_hsps
+
+    def test_comparable_to_oris_on_est(self, est_pair):
+        from repro.eval import compare_outputs
+
+        oris = OrisEngine(OrisParams()).compare(*est_pair)
+        blastz = BlastzEngine(BlastzParams()).compare(*est_pair)
+        rep = compare_outputs(oris.records, blastz.records)
+        # different seeding policies, same substrate: totals within 2x and
+        # cross-misses bounded
+        assert 0.5 < rep.sc_total / max(rep.bl_total, 1) < 2.0
+        assert rep.scoris_miss_pct < 25.0
+
+    def test_transition_seed_runs(self, rng):
+        core = random_dna(rng, 400)
+        b1 = Bank.from_strings([("q", core)])
+        b2 = Bank.from_strings([("s", core)])
+        res = BlastzEngine(
+            BlastzParams(seed=BLASTZ_SEED_TRANSITION)
+        ).compare(b1, b2)
+        assert len(res.records) >= 1
+
+    def test_no_homology(self, rng):
+        b1 = Bank.from_strings([("q", random_dna(rng, 1200))])
+        b2 = Bank.from_strings([("s", random_dna(np.random.default_rng(77), 1200))])
+        assert BlastzEngine(BlastzParams()).compare(b1, b2).records == []

@@ -1,0 +1,93 @@
+"""Tests for the scoris-n command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, run
+from repro.data.synthetic import random_dna
+from repro.io.bank import Bank
+from repro.io.m8 import read_m8
+
+
+@pytest.fixture
+def fasta_pair(tmp_path, rng):
+    core = random_dna(rng, 200)
+    b1 = Bank.from_strings([("q1", random_dna(rng, 50) + core)])
+    b2 = Bank.from_strings([("s1", core + random_dna(rng, 50))])
+    p1, p2 = tmp_path / "a.fa", tmp_path / "b.fa"
+    b1.to_fasta(p1)
+    b2.to_fasta(p2)
+    return str(p1), str(p2)
+
+
+class TestParser:
+    def test_defaults_match_paper(self):
+        args = build_parser().parse_args(["a.fa", "b.fa"])
+        assert args.word_size == 11
+        assert args.evalue == pytest.approx(1e-3)
+        assert args.strand == "plus"
+        assert args.engine == "oris"
+        assert args.filter_kind == "dust"
+
+    def test_engine_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["a", "b", "--engine", "bwa"])
+
+
+class TestRun:
+    def test_oris_to_file(self, fasta_pair, tmp_path):
+        out = tmp_path / "hits.m8"
+        rc = run([*fasta_pair, "-o", str(out)])
+        assert rc == 0
+        recs = read_m8(out)
+        assert len(recs) >= 1
+        assert recs[0].query_id == "q1"
+        assert recs[0].subject_id == "s1"
+
+    def test_stdout_output(self, fasta_pair, capsys):
+        rc = run(list(fasta_pair))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 1
+        assert "q1\ts1" in out
+
+    def test_stats_to_stderr(self, fasta_pair, capsys):
+        rc = run([*fasta_pair, "--stats"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "step timings" in err
+        assert "work:" in err
+
+    @pytest.mark.parametrize("engine", ["oris", "blastn", "blat"])
+    def test_all_engines_run(self, fasta_pair, tmp_path, engine):
+        out = tmp_path / f"{engine}.m8"
+        rc = run([*fasta_pair, "--engine", engine, "-o", str(out)])
+        assert rc == 0
+        assert len(read_m8(out)) >= 1
+
+    def test_missing_file_error(self, tmp_path, capsys):
+        rc = run([str(tmp_path / "no.fa"), str(tmp_path / "no2.fa")])
+        assert rc == 2
+        assert "error reading banks" in capsys.readouterr().err
+
+    def test_word_size_flag(self, fasta_pair, tmp_path):
+        out = tmp_path / "w8.m8"
+        rc = run([*fasta_pair, "-W", "8", "-o", str(out)])
+        assert rc == 0
+        assert len(read_m8(out)) >= 1
+
+    def test_asymmetric_flag(self, fasta_pair, tmp_path):
+        out = tmp_path / "asym.m8"
+        rc = run([*fasta_pair, "--asymmetric", "-o", str(out)])
+        assert rc == 0
+        assert len(read_m8(out)) >= 1
+
+    def test_both_strands_flag(self, fasta_pair, tmp_path):
+        out = tmp_path / "both.m8"
+        rc = run([*fasta_pair, "--strand", "both", "-o", str(out)])
+        assert rc == 0
+
+    def test_custom_scoring(self, fasta_pair, tmp_path):
+        out = tmp_path / "sc.m8"
+        rc = run([*fasta_pair, "--match", "2", "--mismatch", "5", "-o", str(out)])
+        assert rc == 0

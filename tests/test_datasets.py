@@ -1,0 +1,95 @@
+"""Tests for the paper's Table 1 dataset registry (repro.data.datasets)."""
+
+import numpy as np
+import pytest
+
+from repro.data import PAPER_BANKS, load_bank, table1_rows
+from repro.data.datasets import DEFAULT_SEED
+
+
+class TestRegistry:
+    def test_all_eleven_banks_present(self):
+        assert set(PAPER_BANKS) == {
+            "EST1", "EST2", "EST3", "EST4", "EST5", "EST6", "EST7",
+            "VRL", "BCT", "H10", "H19",
+        }
+
+    def test_paper_sizes_recorded(self):
+        assert PAPER_BANKS["EST1"].mbp == pytest.approx(6.44)
+        assert PAPER_BANKS["H10"].n_seq == 19
+        assert PAPER_BANKS["BCT"].origin == "misc. bacteria genomes"
+
+    def test_unknown_bank_rejected(self):
+        with pytest.raises(KeyError):
+            load_bank("EST99")
+
+
+class TestScaledGeneration:
+    SCALE = 0.002  # tiny banks for fast tests
+
+    def test_size_tracks_scale(self):
+        b = load_bank("EST1", scale=self.SCALE)
+        target = PAPER_BANKS["EST1"].mbp * 1e6 * self.SCALE
+        assert b.size_nt == pytest.approx(target, rel=0.25)
+
+    def test_deterministic_across_calls(self):
+        a = load_bank("EST2", scale=self.SCALE)
+        b = load_bank("EST2", scale=self.SCALE)
+        assert a.names == b.names
+        assert np.array_equal(a.seq, b.seq)
+
+    def test_seed_changes_content(self):
+        a = load_bank("EST2", scale=self.SCALE, seed=1)
+        b = load_bank("EST2", scale=self.SCALE, seed=2)
+        assert not np.array_equal(a.seq[: min(len(a.seq), len(b.seq))],
+                                  b.seq[: min(len(a.seq), len(b.seq))])
+
+    def test_chromosomes_are_few_long_sequences(self):
+        h19 = load_bank("H19", scale=self.SCALE)
+        assert h19.n_sequences <= 6
+        assert h19.size_nt / h19.n_sequences > 10_000
+
+    def test_est_banks_are_many_short_sequences(self):
+        est = load_bank("EST1", scale=self.SCALE)
+        assert est.n_sequences >= 10
+        assert est.size_nt / est.n_sequences < 2_000
+
+
+class TestHomologyStructure:
+    """The cross-bank homology relations the paper's tables rely on."""
+
+    SCALE = 0.002
+
+    def test_est_pairs_share_homology(self):
+        from repro.core import OrisEngine, OrisParams
+
+        b1 = load_bank("EST1", scale=self.SCALE)
+        b2 = load_bank("EST2", scale=self.SCALE)
+        res = OrisEngine(OrisParams()).compare(b1, b2)
+        assert len(res.records) > 0
+
+    def test_h19_vrl_share_homology(self):
+        from repro.core import OrisEngine, OrisParams
+
+        h19 = load_bank("H19", scale=self.SCALE)
+        vrl = load_bank("VRL", scale=self.SCALE)
+        res = OrisEngine(OrisParams()).compare(h19, vrl)
+        assert len(res.records) > 0
+
+    def test_h10_bct_share_nothing(self):
+        # Paper Table 6/7: H10 vs BCT finds 0 alignments.
+        from repro.core import OrisEngine, OrisParams
+
+        h10 = load_bank("H10", scale=self.SCALE)
+        bct = load_bank("BCT", scale=self.SCALE)
+        res = OrisEngine(OrisParams()).compare(h10, bct)
+        assert len(res.records) == 0
+
+
+class TestTable1:
+    def test_rows_match_registry(self):
+        rows = table1_rows(scale=0.002, names=["EST1", "H19"])
+        assert len(rows) == 2
+        name, origin, pn, pm, on, om = rows[0]
+        assert name == "EST1" and pn == 13013
+        assert om > 0

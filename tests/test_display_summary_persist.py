@@ -1,0 +1,163 @@
+"""Tests for alignment display, result summaries, and index persistence."""
+
+import numpy as np
+import pytest
+
+from repro.align.classic import gotoh_local
+from repro.align.display import render_alignment, render_record
+from repro.core import OrisEngine, OrisParams
+from repro.data.synthetic import mutate, random_dna
+from repro.eval import best_hits, query_coverage, summarize
+from repro.index import CsrSeedIndex, load_index, save_index
+from repro.io.bank import Bank
+from repro.io.m8 import M8Record
+
+
+class TestRenderAlignment:
+    def test_blocks_and_gutters(self, rng, scoring):
+        core = random_dna(rng, 100)
+        path = gotoh_local(core, core, scoring)
+        text = render_alignment(path, q_offset=10, s_offset=20, width=40)
+        lines = text.splitlines()
+        assert lines[0].startswith("Query  11")
+        assert lines[2].startswith("Sbjct  21")
+        # match line all pipes on identical sequences
+        assert set(lines[1].split()[-1]) == {"|"}
+        # three blocks of 40/40/20
+        assert sum(1 for l in lines if l.startswith("Query")) == 3
+
+    def test_mismatch_column_blank(self, scoring):
+        s1 = "ACGTACGTACGTACGTACGT"
+        s2 = "ACGTACGTTCGTACGTACGT"
+        path = gotoh_local(s1, s2, scoring)
+        text = render_alignment(path)
+        match_line = text.splitlines()[1]
+        assert " " in match_line.strip("| ") or match_line.count("|") == 19
+
+    def test_coordinates_advance_across_blocks(self, rng, scoring):
+        core = random_dna(rng, 90)
+        path = gotoh_local(core, core, scoring)
+        text = render_alignment(path, width=30)
+        q_lines = [l for l in text.splitlines() if l.startswith("Query")]
+        starts = [int(l.split()[1]) for l in q_lines]
+        assert starts == [1, 31, 61]
+
+
+class TestRenderRecord:
+    def test_end_to_end(self, rng):
+        core = random_dna(rng, 150)
+        b1 = Bank.from_strings([("q", random_dna(rng, 30) + core)])
+        b2 = Bank.from_strings([("s", core + random_dna(rng, 30))])
+        res = OrisEngine(OrisParams()).compare(b1, b2)
+        text = render_record(res.records[0], b1, b2)
+        assert "Score =" in text
+        assert "Query" in text and "Sbjct" in text
+        assert core[:30] in text.replace("\n", " ")
+
+    def test_minus_strand_record(self, rng):
+        from repro.encoding import decode, encode, reverse_complement
+
+        core = random_dna(rng, 120)
+        rc = decode(reverse_complement(encode(core)))
+        b1 = Bank.from_strings([("q", core)])
+        b2 = Bank.from_strings([("s", rc)])
+        res = OrisEngine(OrisParams(strand="both")).compare(b1, b2)
+        rec = res.records[0]
+        assert rec.minus_strand
+        text = render_record(rec, b1, b2)
+        assert "Minus" in text
+
+
+def make_rec(q="q", qs=1, qe=100, e=1e-10, bits=100.0, minus=False):
+    return M8Record(
+        query_id=q, subject_id="s", pident=95.0, length=qe - qs + 1,
+        mismatches=2, gap_openings=0, q_start=qs, q_end=qe,
+        s_start=qe if minus else qs, s_end=qs if minus else qe,
+        evalue=e, bit_score=bits,
+    )
+
+
+class TestSummaries:
+    def test_summary_fields(self):
+        recs = [make_rec(), make_rec(q="b", qs=11, qe=60)]
+        s = summarize(recs)
+        assert s.n_records == 2
+        assert s.n_query_ids == 2
+        assert s.n_subject_ids == 1
+        assert s.total_aligned_columns == 100 + 50
+        assert s.mean_pident == pytest.approx(95.0)
+        assert "records" in s.format()
+
+    def test_empty_summary(self):
+        s = summarize([])
+        assert s.n_records == 0
+        assert s.min_evalue == float("inf")
+
+    def test_minus_count(self):
+        s = summarize([make_rec(minus=True), make_rec()])
+        assert s.n_minus_strand == 1
+
+    def test_best_hits(self):
+        a = make_rec(e=1e-5)
+        b = make_rec(e=1e-20)
+        assert best_hits([a, b])["q"] is b
+
+    def test_best_hits_tie_breaks_on_bits(self):
+        a = make_rec(e=1e-5, bits=50.0)
+        b = make_rec(e=1e-5, bits=80.0)
+        assert best_hits([a, b])["q"] is b
+
+    def test_query_coverage_merges_overlaps(self):
+        recs = [make_rec(qs=1, qe=100), make_rec(qs=51, qe=150)]
+        assert query_coverage(recs)["q"] == 150
+
+    def test_query_coverage_disjoint(self):
+        recs = [make_rec(qs=1, qe=50), make_rec(qs=101, qe=150)]
+        assert query_coverage(recs)["q"] == 100
+
+
+class TestIndexPersistence:
+    def test_round_trip(self, tmp_path, rng):
+        bank = Bank.from_strings(
+            [("a", random_dna(rng, 400)), ("b", random_dna(rng, 300))]
+        )
+        idx = CsrSeedIndex(bank, 9)
+        path = tmp_path / "bank.idx.npz"
+        save_index(path, idx)
+        loaded = load_index(path)
+        assert loaded.w == 9
+        assert loaded.bank.names == bank.names
+        assert np.array_equal(loaded.bank.seq, bank.seq)
+        assert np.array_equal(loaded.positions, idx.positions)
+        assert np.array_equal(loaded.unique_codes, idx.unique_codes)
+
+    def test_loaded_index_is_usable(self, tmp_path, rng):
+        core = random_dna(rng, 200)
+        b1 = Bank.from_strings([("q", core)])
+        b2 = Bank.from_strings([("s", core)])
+        i2 = CsrSeedIndex(b2, 11)
+        path = tmp_path / "i2.npz"
+        save_index(path, i2)
+        i2b = load_index(path)
+        i1 = CsrSeedIndex(b1, 11)
+        cc = i1.common_codes(i2b)
+        assert cc.n_pairs > 0
+        # cutoff helpers work on the reloaded instance
+        assert i2b.indexed_mask.any()
+        assert i2b.cutoff_codes.shape == b2.seq.shape
+
+    def test_version_check(self, tmp_path, rng):
+        import json
+
+        bank = Bank.from_strings([("a", random_dna(rng, 100))])
+        idx = CsrSeedIndex(bank, 6)
+        path = tmp_path / "x.npz"
+        save_index(path, idx)
+        # corrupt the version
+        data = dict(np.load(path))
+        meta = json.loads(bytes(data["meta"]).decode())
+        meta["version"] = 999
+        data["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_index(path)

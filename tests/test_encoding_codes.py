@@ -1,0 +1,102 @@
+"""Tests for the paper's 2-bit nucleotide code (repro.encoding.codes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding import (
+    A,
+    C,
+    G,
+    T,
+    INVALID,
+    complement_codes,
+    decode,
+    encode,
+    is_valid,
+    reverse_complement,
+)
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=200)
+dna_n = st.text(alphabet="ACGTN", min_size=0, max_size=200)
+
+
+class TestCodeAssignment:
+    """The paper's exact (non-alphabetic) code table."""
+
+    def test_paper_code_values(self):
+        # Section 2.1: A=00, C=01, G=11, T=10.
+        assert (A, C, T, G) == (0b00, 0b01, 0b10, 0b11)
+
+    def test_encode_single_characters(self):
+        assert list(encode("ACGT")) == [A, C, G, T]
+
+    def test_lower_case_accepted(self):
+        assert list(encode("acgt")) == [A, C, G, T]
+
+    def test_ambiguity_codes_invalid(self):
+        for ch in "NRYKMSWBDHVX-. ":
+            assert encode(ch)[0] == INVALID
+
+    def test_invalid_sentinel_outside_2bit_range(self):
+        assert INVALID >= 4
+
+    def test_encode_bytes_input(self):
+        assert list(encode(b"ACGT")) == [A, C, G, T]
+
+    def test_encode_returns_int8(self):
+        assert encode("ACGT").dtype == np.int8
+
+
+class TestDecode:
+    def test_round_trip_upper(self):
+        assert decode(encode("GATTACA")) == "GATTACA"
+
+    def test_n_round_trip(self):
+        assert decode(encode("ACNGT")) == "ACNGT"
+
+    def test_empty(self):
+        assert decode(encode("")) == ""
+
+    @given(dna_n)
+    def test_round_trip_property(self, s):
+        assert decode(encode(s)) == s
+
+
+class TestComplement:
+    """The code assignment makes complement = XOR 0b10."""
+
+    def test_complement_pairs(self):
+        comp = complement_codes(encode("ACGT"))
+        assert decode(comp) == "TGCA"
+
+    def test_complement_is_xor_two(self):
+        arr = encode("ACGTACGT")
+        assert np.array_equal(complement_codes(arr), arr ^ 2)
+
+    def test_invalid_stays_invalid(self):
+        arr = encode("ANT")
+        comp = complement_codes(arr)
+        assert comp[1] >= INVALID
+
+    def test_reverse_complement(self):
+        assert decode(reverse_complement(encode("AACGT"))) == "ACGTT"
+
+    @given(dna)
+    def test_revcomp_involution(self, s):
+        arr = encode(s)
+        assert np.array_equal(reverse_complement(reverse_complement(arr)), arr)
+
+    @given(dna)
+    def test_revcomp_preserves_length(self, s):
+        assert reverse_complement(encode(s)).shape[0] == len(s)
+
+
+class TestIsValid:
+    def test_mask(self):
+        assert list(is_valid(encode("ANCN"))) == [True, False, True, False]
+
+    @given(dna)
+    def test_pure_dna_all_valid(self, s):
+        assert is_valid(encode(s)).all()

@@ -1,0 +1,66 @@
+"""Tests for the table renderer and timing helpers (repro.eval)."""
+
+import time
+
+import pytest
+
+from repro.eval import TimedRun, ascii_series_plot, render_csv, render_table, time_call
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["name", "value"], [("a", 1.0), ("bb", 22.5)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [(1234.5,), (12.34,), (1.234,), (0.0,)])
+        assert "1234" in text or "1235" in text
+        assert "12.3" in text
+        assert "1.23" in text
+
+    def test_csv(self):
+        csv = render_csv(["a", "b"], [(1, 2), (3, 4)])
+        assert csv.splitlines() == ["a,b", "1,2", "3,4"]
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        plot = ascii_series_plot(
+            {"one": [(0, 1), (10, 5)], "two": [(5, 3)]},
+            width=40, height=10, x_label="x", y_label="y",
+        )
+        assert "o = one" in plot
+        assert "x = two" in plot
+        assert plot.count("\n") >= 12
+
+    def test_empty(self):
+        assert "no data" in ascii_series_plot({})
+
+
+class TestTimeCall:
+    def test_returns_value_and_times(self):
+        run = time_call(lambda: 42)
+        assert run.value == 42
+        assert run.wall_seconds >= 0
+        assert run.cpu_seconds >= 0
+
+    def test_repeats_take_minimum(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            time.sleep(0.01 if len(calls) == 1 else 0.0)
+            return len(calls)
+
+        run = time_call(fn, repeats=3)
+        assert len(calls) == 3
+        assert run.wall_seconds < 0.01
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: 1, repeats=0)

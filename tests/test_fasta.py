@@ -1,0 +1,104 @@
+"""Tests for the FASTA reader/writer (repro.io.fasta)."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.io.fasta import (
+    FastaError,
+    FastaRecord,
+    format_fasta,
+    iter_fasta,
+    read_fasta,
+    write_fasta,
+)
+
+SIMPLE = ">seq1 a description\nACGT\nACGT\n>seq2\nTTTT\n"
+
+
+class TestParsing:
+    def test_basic(self):
+        recs = read_fasta(io.StringIO(SIMPLE))
+        assert recs == [("seq1", "ACGTACGT"), ("seq2", "TTTT")]
+
+    def test_name_is_first_token(self):
+        (rec,) = read_fasta(io.StringIO(">id descr more\nAC\n"))
+        assert rec.name == "id"
+
+    def test_named_access(self):
+        (rec,) = read_fasta(io.StringIO(">x\nAC\n"))
+        assert rec.sequence == "AC"
+        assert isinstance(rec, FastaRecord)
+
+    def test_windows_line_endings(self):
+        recs = read_fasta(io.StringIO(">a\r\nAC\r\nGT\r\n"))
+        assert recs == [("a", "ACGT")]
+
+    def test_blank_lines_skipped(self):
+        recs = read_fasta(io.StringIO("\n>a\n\nAC\n\nGT\n\n"))
+        assert recs == [("a", "ACGT")]
+
+    def test_semicolon_comments_skipped(self):
+        recs = read_fasta(io.StringIO("; comment\n>a\nAC\n; mid\nGT\n"))
+        assert recs == [("a", "ACGT")]
+
+    def test_empty_input(self):
+        assert read_fasta(io.StringIO("")) == []
+
+    def test_record_without_sequence(self):
+        recs = read_fasta(io.StringIO(">a\n>b\nAC\n"))
+        assert recs == [("a", ""), ("b", "AC")]
+
+    def test_data_before_header_raises(self):
+        with pytest.raises(FastaError, match="before first"):
+            read_fasta(io.StringIO("ACGT\n"))
+
+    def test_empty_header_raises(self):
+        with pytest.raises(FastaError, match="empty"):
+            read_fasta(io.StringIO(">\nAC\n"))
+
+    def test_streaming_is_lazy(self):
+        it = iter_fasta(io.StringIO(SIMPLE))
+        assert next(it).name == "seq1"
+
+    def test_type_error_on_bad_source(self):
+        with pytest.raises(TypeError):
+            read_fasta(12345)
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "x.fa"
+        records = [("a", "ACGT" * 50), ("b", "TT")]
+        write_fasta(path, records)
+        assert [tuple(r) for r in read_fasta(path)] == records
+
+    def test_wrapping(self):
+        text = format_fasta([("a", "ACGTACGT")], width=4)
+        assert text == ">a\nACGT\nACGT\n"
+
+    def test_no_wrapping(self):
+        text = format_fasta([("a", "ACGTACGT")], width=0)
+        assert text == ">a\nACGTACGT\n"
+
+    names = st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126, exclude_characters=">;"),
+        min_size=1,
+        max_size=12,
+    ).filter(lambda s: not s.startswith(";"))
+
+    @given(
+        st.lists(
+            st.tuples(names, st.text(alphabet="ACGTN", min_size=1, max_size=100)),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_round_trip_property(self, records):
+        text = format_fasta(records, width=13)
+        parsed = read_fasta(io.StringIO(text))
+        assert [tuple(r) for r in parsed] == [
+            (n.split()[0], s) for n, s in records
+        ]

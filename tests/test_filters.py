@@ -1,0 +1,108 @@
+"""Tests for the low-complexity filters (repro.filters)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import random_dna
+from repro.encoding import encode
+from repro.filters import dust_mask, dust_scores, entropy_mask, entropy_scores, make_filter_mask
+from repro.io.bank import Bank
+
+
+class TestDust:
+    def test_polya_fully_masked(self, rng):
+        b = Bank.from_strings([("r", random_dna(rng, 500)), ("p", "A" * 120)])
+        m = dust_mask(b)
+        s, e = b.bounds(1)
+        assert m[s:e].all()
+
+    def test_dinucleotide_repeat_masked(self, rng):
+        b = Bank.from_strings([("x", random_dna(rng, 200) + "AT" * 50 + random_dna(rng, 200))])
+        m = dust_mask(b)
+        s, _ = b.bounds(0)
+        tract = m[s + 200 : s + 300]
+        assert tract.mean() > 0.9
+
+    def test_random_mostly_unmasked(self, rng):
+        b = Bank.from_strings([("r", random_dna(rng, 20000))])
+        m = dust_mask(b)
+        s, e = b.bounds(0)
+        assert m[s:e].mean() < 0.05
+
+    def test_scores_higher_on_repeats(self, rng):
+        rand = encode(random_dna(rng, 300))
+        poly = encode("A" * 300)
+        assert dust_scores(poly).max() > 10 * max(dust_scores(rand).max(), 1e-9)
+
+    def test_mask_shape(self, rng):
+        b = Bank.from_strings([("r", random_dna(rng, 100))])
+        assert dust_mask(b).shape == b.seq.shape
+
+    def test_accepts_raw_array(self, rng):
+        arr = encode("A" * 200)
+        assert dust_mask(arr).any()
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            dust_scores(encode("ACGT" * 30), window=4)
+
+    def test_threshold_monotone(self, rng):
+        b = Bank.from_strings([("x", random_dna(rng, 300) + "CACA" * 20)])
+        lo = dust_mask(b, threshold=5.0).sum()
+        hi = dust_mask(b, threshold=50.0).sum()
+        assert hi <= lo
+
+    def test_separators_do_not_bridge_sequences(self, rng):
+        # Two half-tracts split by a separator must not merge into a
+        # single masked region spilling across sequences...
+        b = Bank.from_strings([("a", random_dna(rng, 400)), ("b", random_dna(rng, 400))])
+        m = dust_mask(b)
+        s0, e0 = b.bounds(0)
+        assert m[s0:e0].mean() < 0.1
+
+
+class TestEntropy:
+    def test_polya_zero_entropy(self):
+        scores = entropy_scores(encode("A" * 100))
+        assert scores[-1] == pytest.approx(0.0)
+
+    def test_random_high_entropy(self, rng):
+        scores = entropy_scores(encode(random_dna(rng, 2000)))
+        assert scores[200:].mean() > 1.8
+
+    def test_mask_polya(self, rng):
+        b = Bank.from_strings([("r", random_dna(rng, 300)), ("p", "T" * 100)])
+        m = entropy_mask(b)
+        s, e = b.bounds(1)
+        assert m[s:e].mean() > 0.9
+
+    def test_random_unmasked(self, rng):
+        b = Bank.from_strings([("r", random_dna(rng, 5000))])
+        m = entropy_mask(b)
+        assert m.mean() < 0.02
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            entropy_scores(encode("ACGT"), window=2)
+
+    def test_empty_input(self):
+        assert entropy_scores(encode("")).shape == (0,)
+        assert entropy_mask(encode("")).shape == (0,)
+
+
+class TestDispatch:
+    def test_none_returns_none(self, small_bank):
+        assert make_filter_mask(small_bank, "none") is None
+        assert make_filter_mask(small_bank, None) is None
+
+    def test_dust_dispatch(self, small_bank):
+        m = make_filter_mask(small_bank, "dust")
+        assert m is not None and m.dtype == bool
+
+    def test_entropy_dispatch(self, small_bank):
+        m = make_filter_mask(small_bank, "entropy")
+        assert m is not None
+
+    def test_unknown_rejected(self, small_bank):
+        with pytest.raises(ValueError):
+            make_filter_mask(small_bank, "unknown")

@@ -1,0 +1,55 @@
+"""Tests for the index memory accounting (paper section 3.1)."""
+
+import pytest
+
+from repro.data.synthetic import random_dna
+from repro.index import csr_memory_report, index_memory_report, predicted_bytes
+from repro.index.memory import IndexMemoryReport
+from repro.io.bank import Bank
+
+
+class TestPaperClaim:
+    def test_five_bytes_per_nt_excluding_dictionary(self, rng):
+        # "The index structure required for storing a bank of size N ...
+        # is approximately equal to 5 x N bytes."
+        b = Bank.from_strings([("a", random_dna(rng, 20000))])
+        rep = index_memory_report(b, w=11)
+        assert rep.bytes_per_nt_excluding_dictionary == pytest.approx(5.0, rel=0.01)
+
+    def test_total_includes_dictionary_constant(self, rng):
+        b = Bank.from_strings([("a", random_dna(rng, 5000))])
+        rep = index_memory_report(b, w=8)
+        assert rep.dictionary_bytes == 4 * 4**8
+        assert rep.total_bytes == rep.seq_bytes + rep.index_bytes + rep.dictionary_bytes
+
+    def test_prediction_tracks_measurement(self, rng):
+        b = Bank.from_strings([("a", random_dna(rng, 30000))])
+        rep = index_memory_report(b, w=8)
+        pred = predicted_bytes(b.size_nt, w=8)
+        assert rep.total_bytes == pytest.approx(pred, rel=0.01)
+
+    def test_paper_example_40mb_needs_200mb_per_bank(self):
+        # "Comparing ... two chromosomes of 40 MBytes will require, at
+        # least, a free memory space of 400 MBytes" => ~5N per bank (the
+        # W=11 dictionary adds a constant ~17 MB on top of the 200 MB).
+        assert predicted_bytes(40_000_000, w=11) == pytest.approx(
+            200_000_000, rel=0.10
+        )
+
+
+class TestCsrAccounting:
+    def test_csr_not_larger_than_linked(self, rng):
+        # CSR stores one int per *indexed* window (< one per slot) plus a
+        # code table; for real DNA it is comparable or smaller.
+        b = Bank.from_strings([("a", random_dna(rng, 20000))])
+        linked = index_memory_report(b, w=11)
+        csr = csr_memory_report(b, w=11)
+        assert csr.seq_bytes == linked.seq_bytes
+        assert csr.index_bytes <= linked.index_bytes
+
+    def test_report_fields(self, rng):
+        b = Bank.from_strings([("a", random_dna(rng, 1000))])
+        rep = csr_memory_report(b, w=6)
+        assert isinstance(rep, IndexMemoryReport)
+        assert rep.bank_nt == 1000
+        assert rep.total_bytes > 0

@@ -1,0 +1,82 @@
+"""Tests for -m8 records (repro.io.m8)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.io.m8 import M8Record, format_m8, parse_m8, read_m8, write_m8
+
+
+def make_record(**kw) -> M8Record:
+    base = dict(
+        query_id="q1",
+        subject_id="s1",
+        pident=97.5,
+        length=120,
+        mismatches=3,
+        gap_openings=1,
+        q_start=1,
+        q_end=120,
+        s_start=11,
+        s_end=130,
+        evalue=1e-30,
+        bit_score=222.0,
+    )
+    base.update(kw)
+    return M8Record(**base)
+
+
+class TestSerialisation:
+    def test_line_has_12_fields(self):
+        assert len(make_record().to_line().split("\t")) == 12
+
+    def test_round_trip(self):
+        rec = make_record()
+        assert M8Record.from_line(rec.to_line()) == rec
+
+    def test_short_line_raises(self):
+        with pytest.raises(ValueError):
+            M8Record.from_line("a\tb\tc")
+
+    def test_parse_skips_comments_and_blanks(self):
+        text = "# comment\n\n" + make_record().to_line() + "\n"
+        assert len(parse_m8(text)) == 1
+
+    def test_file_round_trip(self, tmp_path):
+        records = [make_record(), make_record(q_start=5, q_end=60, length=56)]
+        path = tmp_path / "hits.m8"
+        write_m8(path, records)
+        assert read_m8(path) == records
+
+    def test_evalue_formatting_zero(self):
+        assert "0.0" in make_record(evalue=0.0).to_line().split("\t")[10]
+
+    def test_evalue_formatting_large(self):
+        line = make_record(evalue=0.5).to_line()
+        assert float(line.split("\t")[10]) == pytest.approx(0.5)
+
+    @given(st.floats(min_value=1e-180, max_value=9.0))
+    def test_evalue_parse_within_order_of_magnitude(self, e):
+        rec = make_record(evalue=e)
+        parsed = M8Record.from_line(rec.to_line())
+        assert parsed.evalue == pytest.approx(e, rel=0.5)
+
+
+class TestGeometry:
+    def test_plus_strand_spans(self):
+        rec = make_record(q_start=5, q_end=10, s_start=20, s_end=25)
+        assert rec.q_span == (4, 10)
+        assert rec.s_span == (19, 25)
+        assert not rec.minus_strand
+
+    def test_minus_strand(self):
+        rec = make_record(s_start=30, s_end=21)
+        assert rec.minus_strand
+        assert rec.s_span == (20, 30)
+
+    def test_q_span_half_open_length(self):
+        rec = make_record(q_start=1, q_end=120)
+        lo, hi = rec.q_span
+        assert hi - lo == 120

@@ -1,0 +1,114 @@
+"""Tests for hit-pair enumeration (repro.core.pairs)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pairs import iter_pair_chunks, segmented_cartesian
+from repro.index import CsrSeedIndex
+from repro.io.bank import Bank
+from repro.data.synthetic import random_dna
+
+
+class TestSegmentedCartesian:
+    def test_single_segment_row_major(self):
+        pos1 = np.array([10, 20])
+        pos2 = np.array([5, 6, 7])
+        chunk = segmented_cartesian(
+            pos1, pos2,
+            np.array([0]), np.array([2]),
+            np.array([0]), np.array([3]),
+            np.array([42]),
+        )
+        assert list(chunk.p1) == [10, 10, 10, 20, 20, 20]
+        assert list(chunk.p2) == [5, 6, 7, 5, 6, 7]
+        assert set(chunk.codes) == {42}
+        assert chunk.n_pairs == 6
+
+    def test_multiple_segments(self):
+        pos1 = np.array([1, 2, 3])
+        pos2 = np.array([7, 8, 9])
+        chunk = segmented_cartesian(
+            pos1, pos2,
+            np.array([0, 2]), np.array([2, 1]),
+            np.array([0, 1]), np.array([1, 2]),
+            np.array([5, 6]),
+        )
+        # segment 0: {1,2} x {7}; segment 1: {3} x {8,9}
+        assert list(chunk.p1) == [1, 2, 3, 3]
+        assert list(chunk.p2) == [7, 7, 8, 9]
+        assert list(chunk.codes) == [5, 5, 6, 6]
+
+    def test_empty(self):
+        z = np.empty(0, dtype=np.int64)
+        chunk = segmented_cartesian(z, z, z, z, z, z, z)
+        assert chunk.n_pairs == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)), min_size=1, max_size=6))
+    def test_pair_count_matches_products(self, shape):
+        counts1 = np.array([a for a, _ in shape], dtype=np.int64)
+        counts2 = np.array([b for _, b in shape], dtype=np.int64)
+        total1, total2 = int(counts1.sum()), int(counts2.sum())
+        pos1 = np.arange(total1, dtype=np.int64)
+        pos2 = np.arange(100, 100 + total2, dtype=np.int64)
+        starts1 = np.concatenate(([0], np.cumsum(counts1)))[:-1]
+        starts2 = np.concatenate(([0], np.cumsum(counts2)))[:-1]
+        codes = np.arange(len(shape), dtype=np.int64)
+        chunk = segmented_cartesian(pos1, pos2, starts1, counts1, starts2, counts2, codes)
+        assert chunk.n_pairs == int((counts1 * counts2).sum())
+        # codes non-decreasing (enumeration order preserved)
+        assert (np.diff(chunk.codes) >= 0).all()
+
+
+class TestIterPairChunks:
+    def make_indexes(self, rng):
+        b1 = Bank.from_strings([("a", random_dna(rng, 800))])
+        b2 = Bank.from_strings([("b", random_dna(rng, 800))])
+        i1, i2 = CsrSeedIndex(b1, 5), CsrSeedIndex(b2, 5)
+        return i1, i2, i1.common_codes(i2)
+
+    def test_covers_all_pairs_once(self, rng):
+        i1, i2, cc = self.make_indexes(rng)
+        seen = set()
+        total = 0
+        for chunk in iter_pair_chunks(i1, i2, cc, chunk_pairs=64):
+            for a, b, c in zip(chunk.p1, chunk.p2, chunk.codes):
+                key = (int(a), int(b))
+                assert key not in seen
+                seen.add(key)
+            total += chunk.n_pairs
+        assert total == cc.n_pairs
+
+    def test_codes_ascending_across_chunks(self, rng):
+        i1, i2, cc = self.make_indexes(rng)
+        last = -1
+        for chunk in iter_pair_chunks(i1, i2, cc, chunk_pairs=32):
+            assert chunk.codes[0] >= last
+            assert (np.diff(chunk.codes) >= 0).all()
+            last = int(chunk.codes[-1])
+
+    def test_chunk_sizes_respect_target(self, rng):
+        i1, i2, cc = self.make_indexes(rng)
+        max_product = int((cc.count1 * cc.count2).max())
+        for chunk in iter_pair_chunks(i1, i2, cc, chunk_pairs=50):
+            assert chunk.n_pairs <= 50 + max_product
+
+    def test_max_occurrences_drops_heavy_codes(self, rng):
+        b1 = Bank.from_strings([("a", "AC" * 100 + random_dna(rng, 100))])
+        b2 = Bank.from_strings([("b", "AC" * 100 + random_dna(rng, 100))])
+        i1, i2 = CsrSeedIndex(b1, 4, None), CsrSeedIndex(b2, 4, None)
+        cc = i1.common_codes(i2)
+        full = sum(c.n_pairs for c in iter_pair_chunks(i1, i2, cc, 1 << 12))
+        capped = sum(
+            c.n_pairs for c in iter_pair_chunks(i1, i2, cc, 1 << 12, max_occurrences=10)
+        )
+        assert capped < full
+
+    def test_empty_common(self):
+        b1 = Bank.from_strings([("a", "AAAAAAA")])
+        b2 = Bank.from_strings([("b", "GGGGGGG")])
+        i1, i2 = CsrSeedIndex(b1, 4), CsrSeedIndex(b2, 4)
+        cc = i1.common_codes(i2)
+        assert list(iter_pair_chunks(i1, i2, cc, 100)) == []

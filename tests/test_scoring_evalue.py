@@ -1,0 +1,116 @@
+"""Tests for scoring schemes and Karlin-Altschul statistics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.align.evalue import karlin_params
+from repro.align.scoring import DEFAULT_SCORING, ScoringScheme
+
+
+class TestScoringScheme:
+    def test_defaults_are_blastn(self):
+        s = DEFAULT_SCORING
+        assert (s.match, s.mismatch, s.gap_open, s.gap_extend) == (1, 3, 5, 2)
+
+    def test_gap_cost_affine(self):
+        s = ScoringScheme()
+        assert s.gap_cost(0) == 0
+        assert s.gap_cost(1) == 7
+        assert s.gap_cost(3) == 11
+
+    def test_seed_score(self):
+        assert ScoringScheme().seed_score(11) == 11
+        assert ScoringScheme(match=2, mismatch=3).seed_score(11) == 22
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(match=0)
+        with pytest.raises(ValueError):
+            ScoringScheme(mismatch=0)
+        with pytest.raises(ValueError):
+            ScoringScheme(xdrop_ungapped=0)
+        with pytest.raises(ValueError):
+            ScoringScheme(gap_open=-1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_SCORING.match = 2  # type: ignore[misc]
+
+
+class TestKarlinAltschul:
+    def test_ncbi_plus1_minus3(self):
+        # NCBI's published ungapped parameters for blastn +1/-3.
+        ka = karlin_params(ScoringScheme(match=1, mismatch=3))
+        assert ka.lam == pytest.approx(1.374, abs=0.002)
+        assert ka.k == pytest.approx(0.711, abs=0.005)
+        assert ka.h == pytest.approx(1.307, abs=0.01)
+
+    def test_ncbi_plus1_minus2(self):
+        # NCBI's published ungapped parameters for blastn +1/-2.
+        ka = karlin_params(ScoringScheme(match=1, mismatch=2))
+        assert ka.lam == pytest.approx(1.33, abs=0.01)
+        assert ka.k == pytest.approx(0.621, abs=0.01)
+
+    def test_lambda_solves_equation(self):
+        ka = karlin_params(ScoringScheme(match=2, mismatch=3))
+        val = 0.25 * math.exp(ka.lam * 2) + 0.75 * math.exp(-ka.lam * 3)
+        assert val == pytest.approx(1.0, abs=1e-9)
+
+    def test_positive_expected_score_rejected(self):
+        with pytest.raises(ValueError):
+            karlin_params(ScoringScheme(match=10, mismatch=1))
+
+    def test_evalue_scales_with_search_space(self):
+        ka = karlin_params(DEFAULT_SCORING)
+        e1 = ka.evalue(40, 10**6, 10**3)
+        e2 = ka.evalue(40, 2 * 10**6, 10**3)
+        assert e2 == pytest.approx(2 * e1, rel=1e-9)
+
+    def test_evalue_decreases_with_score(self):
+        ka = karlin_params(DEFAULT_SCORING)
+        assert ka.evalue(50, 10**6, 10**3) < ka.evalue(40, 10**6, 10**3)
+
+    def test_tiny_evalues_do_not_underflow_to_error(self):
+        ka = karlin_params(DEFAULT_SCORING)
+        assert ka.evalue(10_000, 10**6, 10**3) == 0.0 or ka.evalue(
+            10_000, 10**6, 10**3
+        ) >= 0.0
+
+    def test_bit_score_formula(self):
+        ka = karlin_params(DEFAULT_SCORING)
+        s = 30
+        expected = (ka.lam * s - math.log(ka.k)) / math.log(2)
+        assert ka.bit_score(s) == pytest.approx(expected)
+
+    def test_min_score_for_evalue_is_tight(self):
+        ka = karlin_params(DEFAULT_SCORING)
+        m, n = 10**6, 10**4
+        s = ka.min_score_for_evalue(1e-3, m, n)
+        assert ka.evalue(s, m, n) <= 1e-3
+        assert ka.evalue(s - 1, m, n) > 1e-3
+
+    def test_vectorised_evalues_match_scalar(self):
+        ka = karlin_params(DEFAULT_SCORING)
+        scores = np.array([20, 30, 40])
+        ns = np.array([100, 1000, 10000])
+        vec = ka.evalues(scores, 10**6, ns)
+        for i in range(3):
+            assert vec[i] == pytest.approx(ka.evalue(int(scores[i]), 10**6, int(ns[i])), rel=1e-9)
+
+    def test_cached(self):
+        a = karlin_params(ScoringScheme())
+        b = karlin_params(ScoringScheme())
+        assert a is b
+
+    @given(st.integers(1, 3), st.integers(2, 5))
+    def test_lambda_positive_and_finite(self, m, x):
+        if 0.25 * m - 0.75 * x >= 0:
+            return
+        ka = karlin_params(ScoringScheme(match=m, mismatch=x))
+        assert 0 < ka.lam < 10
+        assert 0 < ka.k < 1.5
+        assert ka.h > 0

@@ -1,0 +1,158 @@
+"""Tests for the paper's sensitivity metric (repro.eval.sensitivity)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import SensitivityReport, compare_outputs, count_missed, is_equivalent
+from repro.io.m8 import M8Record
+
+
+def rec(q="q", s="s", qs=1, qe=100, ss=1, se=100) -> M8Record:
+    return M8Record(
+        query_id=q, subject_id=s, pident=99.0, length=abs(qe - qs) + 1,
+        mismatches=0, gap_openings=0, q_start=qs, q_end=qe,
+        s_start=ss, s_end=se, evalue=1e-20, bit_score=100.0,
+    )
+
+
+class TestEquivalence:
+    def test_identical_equivalent(self):
+        assert is_equivalent(rec(), rec())
+
+    def test_different_pair_never_equivalent(self):
+        assert not is_equivalent(rec(q="a"), rec(q="b"))
+        assert not is_equivalent(rec(s="x"), rec(s="y"))
+
+    def test_80_percent_overlap_boundary(self):
+        a = rec(qs=1, qe=100, ss=1, se=100)
+        b = rec(qs=1, qe=80, ss=1, se=80)  # 80/80 of shorter = 100% > 80%
+        assert is_equivalent(a, b)
+        c = rec(qs=61, qe=160, ss=61, se=160)  # 40% overlap
+        assert not is_equivalent(a, c)
+
+    def test_overlap_uses_shorter_interval(self):
+        big = rec(qs=1, qe=1000, ss=1, se=1000)
+        small = rec(qs=101, qe=200, ss=101, se=200)  # fully inside
+        assert is_equivalent(big, small)
+
+    def test_both_axes_must_overlap(self):
+        a = rec(qs=1, qe=100, ss=1, se=100)
+        b = rec(qs=1, qe=100, ss=501, se=600)  # same query, distant subject
+        assert not is_equivalent(a, b)
+
+    def test_strand_mismatch_not_equivalent(self):
+        plus = rec(ss=1, se=100)
+        minus = rec(ss=100, se=1)
+        assert not is_equivalent(plus, minus)
+
+    def test_minus_strand_pair_equivalent(self):
+        a = rec(ss=100, se=1)
+        b = rec(ss=95, se=1)
+        assert is_equivalent(a, b)
+
+
+class TestCountMissed:
+    def test_all_found(self):
+        found = [rec(), rec(q="b")]
+        assert count_missed(found, found) == 0
+
+    def test_all_missed(self):
+        assert count_missed([], [rec(), rec(q="b")]) == 2
+
+    def test_partial(self):
+        reference = [rec(), rec(qs=501, qe=600, ss=501, se=600)]
+        found = [rec()]
+        assert count_missed(found, reference) == 1
+
+    def test_sorted_window_probing_correct(self):
+        # many candidates per pair: ensure the early-break window logic
+        # does not skip a true match appearing late in sorted order
+        found = [rec(qs=i, qe=i + 50, ss=i, se=i + 50) for i in range(1, 500, 25)]
+        target = rec(qs=401, qe=451, ss=401, se=451)
+        assert count_missed(found, [target]) == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 400), min_size=0, max_size=12))
+    def test_matches_naive_quadratic(self, starts):
+        found = [rec(qs=s + 1, qe=s + 60, ss=s + 1, se=s + 60) for s in starts]
+        reference = [
+            rec(qs=s + 1, qe=s + 60, ss=s + 1, se=s + 60) for s in range(0, 401, 37)
+        ]
+        fast = count_missed(found, reference)
+        naive = sum(
+            1
+            for r in reference
+            if not any(is_equivalent(f, r) for f in found)
+        )
+        assert fast == naive
+
+
+class TestReport:
+    def test_percentages(self):
+        rep = SensitivityReport(sc_total=200, bl_total=100, sc_miss=3, bl_miss=5)
+        assert rep.scoris_miss_pct == pytest.approx(3.0)
+        assert rep.blast_miss_pct == pytest.approx(2.5)
+
+    def test_zero_totals(self):
+        rep = SensitivityReport(0, 0, 0, 0)
+        assert rep.scoris_miss_pct == 0.0
+        assert rep.blast_miss_pct == 0.0
+
+    def test_compare_outputs_symmetry(self):
+        a = [rec(), rec(qs=201, qe=260, ss=201, se=260)]
+        b = [rec()]
+        rep = compare_outputs(a, b)
+        assert rep.sc_total == 2 and rep.bl_total == 1
+        assert rep.sc_miss == 0  # everything in b is found in a
+        assert rep.bl_miss == 1  # one alignment of a missing from b
+
+
+class TestGroundTruth:
+    """Recall harness over implanted homologies (repro.eval.groundtruth)."""
+
+    def test_make_implant_coordinates(self, rng):
+        from repro.eval import make_implant
+
+        imp = make_implant(rng, core_len=150, divergence=0.0)
+        q = imp.bank1.sequence_str(0)[imp.q_start : imp.q_end]
+        s = imp.bank2.sequence_str(0)[imp.s_start : imp.s_end]
+        assert q == s  # zero divergence: exact copy at the coordinates
+        assert imp.sw_score >= 150
+
+    def test_recoverable_threshold(self, rng):
+        from repro.eval import make_implant
+
+        imp = make_implant(rng, core_len=200, divergence=0.02)
+        assert imp.recoverable(30)
+        assert not imp.recoverable(10**6)
+
+    def test_experiment_recall_easy(self):
+        from repro.core import OrisEngine, OrisParams
+        from repro.eval import ImplantExperiment, recall
+
+        exp = ImplantExperiment(trials=5)
+        engines = {
+            "oris": lambda b1, b2: OrisEngine(OrisParams()).compare(b1, b2).records
+        }
+        out = exp.run(engines, divergence=0.02, seed=1)
+        assert recall(out["oris"]) == 1.0
+
+    def test_experiment_recall_degrades(self):
+        from repro.core import OrisEngine, OrisParams
+        from repro.eval import ImplantExperiment, recall
+
+        exp = ImplantExperiment(trials=8)
+        engines = {
+            "w14": lambda b1, b2: OrisEngine(
+                OrisParams(w=14, max_evalue=10)
+            ).compare(b1, b2).records
+        }
+        easy = recall(exp.run(engines, divergence=0.01, seed=2)["w14"])
+        hard = recall(exp.run(engines, divergence=0.25, seed=2)["w14"])
+        assert hard <= easy
+
+    def test_recall_empty_denominator(self):
+        from repro.eval import recall
+
+        assert recall((0, 0)) == 1.0

@@ -1,0 +1,145 @@
+"""Tests for subset seeds (repro.encoding.subset + engine integration)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import OrisEngine, OrisParams
+from repro.data.synthetic import mutate, random_dna
+from repro.encoding import (
+    TRANSITION_EXAMPLE_9_3,
+    SubsetSeedMask,
+    encode,
+    subset_seed_codes,
+)
+from repro.io.bank import Bank
+
+TRANSITION = {"A": "G", "G": "A", "C": "T", "T": "C"}
+TRANSVERSION = {"A": "C", "C": "A", "G": "T", "T": "G"}
+
+
+class TestMask:
+    def test_example_mask(self):
+        m = SubsetSeedMask(TRANSITION_EXAMPLE_9_3)
+        assert m.n_exact == 9
+        assert m.n_transition == 3
+        assert m.span == 14
+        assert m.weight == pytest.approx(10.5)
+        assert m.n_codes() == 4**9 * 2**3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SubsetSeedMask("@##")  # must start exact
+        with pytest.raises(ValueError):
+            SubsetSeedMask("##@")  # must end exact
+        with pytest.raises(ValueError):
+            SubsetSeedMask("#x#")
+        with pytest.raises(ValueError):
+            SubsetSeedMask("")
+
+
+class TestCodes:
+    def test_transition_class_property(self):
+        # The paper's code makes purine/pyrimidine a bit-equality test:
+        # transitions preserve the @-digit, transversions flip it.
+        m = SubsetSeedMask("#@#")
+        base = subset_seed_codes(encode("AAT"), m)[0]
+        assert subset_seed_codes(encode("AGT"), m)[0] == base  # A->G
+        assert subset_seed_codes(encode("ACT"), m)[0] != base  # A->C
+        assert subset_seed_codes(encode("ATT"), m)[0] != base  # A->T
+
+    def test_exact_positions_strict(self):
+        m = SubsetSeedMask("#@#")
+        base = subset_seed_codes(encode("AAT"), m)[0]
+        assert subset_seed_codes(encode("GAT"), m)[0] != base  # exact pos
+
+    def test_dont_care_ignored(self):
+        m = SubsetSeedMask("#-#")
+        assert (
+            subset_seed_codes(encode("AAT"), m)[0]
+            == subset_seed_codes(encode("AGT"), m)[0]
+            == subset_seed_codes(encode("ACT"), m)[0]
+        )
+
+    def test_invalid_span_sentinel(self):
+        m = SubsetSeedMask("#-#")
+        assert subset_seed_codes(encode("ANT"), m)[0] == m.invalid_code()
+
+    def test_codes_bounded(self):
+        m = SubsetSeedMask(TRANSITION_EXAMPLE_9_3)
+        s = encode(random_dna(np.random.default_rng(0), 500))
+        codes = subset_seed_codes(s, m)
+        assert codes.max() <= m.invalid_code()
+        valid = codes[codes < m.invalid_code()]
+        assert valid.min() >= 0
+
+    @given(st.text(alphabet="ACGT", min_size=14, max_size=40))
+    def test_transition_invariance_property(self, s):
+        # Mutating any @-position by a transition never changes the code.
+        m = SubsetSeedMask(TRANSITION_EXAMPLE_9_3)
+        base = subset_seed_codes(encode(s), m)[0]
+        at_positions = [i for i, c in enumerate(m.pattern) if c == "@"]
+        for pos in at_positions:
+            mutated = s[:pos] + TRANSITION[s[pos]] + s[pos + 1 :]
+            assert subset_seed_codes(encode(mutated), m)[0] == base
+
+    @given(st.text(alphabet="ACGT", min_size=14, max_size=40))
+    def test_transversion_sensitivity_property(self, s):
+        m = SubsetSeedMask(TRANSITION_EXAMPLE_9_3)
+        base = subset_seed_codes(encode(s), m)[0]
+        at_positions = [i for i, c in enumerate(m.pattern) if c == "@"]
+        for pos in at_positions:
+            mutated = s[:pos] + TRANSVERSION[s[pos]] + s[pos + 1 :]
+            assert subset_seed_codes(encode(mutated), m)[0] != base
+
+
+class TestEngine:
+    def test_end_to_end(self, rng):
+        core = random_dna(rng, 300)
+        mut = mutate(rng, core, sub_rate=0.05, indel_rate=0.002)
+        b1 = Bank.from_strings([("q", core)])
+        b2 = Bank.from_strings([("s", mut)])
+        res = OrisEngine(
+            OrisParams(subset_seed=TRANSITION_EXAMPLE_9_3)
+        ).compare(b1, b2)
+        assert len(res.records) >= 1
+
+    def test_ablation_records_equal(self, rng):
+        core = random_dna(rng, 400)
+        mut = mutate(rng, core, sub_rate=0.08, indel_rate=0.002)
+        b1 = Bank.from_strings([("q", core)])
+        b2 = Bank.from_strings([("s", mut)])
+        on = OrisEngine(OrisParams(subset_seed=TRANSITION_EXAMPLE_9_3)).compare(b1, b2)
+        off = OrisEngine(
+            OrisParams(subset_seed=TRANSITION_EXAMPLE_9_3, ordered_cutoff=False)
+        ).compare(b1, b2)
+        assert {r.to_line() for r in on.records} == {r.to_line() for r in off.records}
+
+    def test_transition_tolerance_anchors_more(self):
+        # Under transition-only divergence, the subset seed keeps far more
+        # anchors per position than an equal-selectivity spaced seed.
+        rng = np.random.default_rng(42)
+        g = random_dna(rng, 6000)
+        mutated = "".join(
+            TRANSITION[c] if rng.random() < 0.25 else c for c in g
+        )
+        b1 = Bank.from_strings([("G", g)])
+        b2 = Bank.from_strings([("M", mutated)])
+        subset = OrisEngine(
+            OrisParams(subset_seed=TRANSITION_EXAMPLE_9_3, max_evalue=10)
+        ).compare(b1, b2)
+        contiguous = OrisEngine(OrisParams(w=11, max_evalue=10)).compare(b1, b2)
+        assert subset.counters.n_pairs > contiguous.counters.n_pairs
+
+    def test_exclusive_with_spaced(self):
+        with pytest.raises(ValueError):
+            OrisParams(subset_seed="#@#", spaced_seed="101")
+
+    def test_exclusive_with_asymmetric(self):
+        with pytest.raises(ValueError):
+            OrisParams(subset_seed="#@#", asymmetric=True)
+
+    def test_effective_w(self):
+        p = OrisParams(subset_seed=TRANSITION_EXAMPLE_9_3)
+        assert p.effective_w == 10  # int(9 + 3/2)

@@ -1,0 +1,162 @@
+"""Tests for the synthetic data generators (repro.data.synthetic)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synthetic import (
+    Transcriptome,
+    insert_low_complexity,
+    insert_repeats,
+    make_est_bank,
+    make_genome,
+    make_related_genome,
+    make_viral_bank,
+    mutate,
+    random_dna,
+)
+
+
+class TestRandomDna:
+    def test_length_and_alphabet(self, rng):
+        s = random_dna(rng, 1000)
+        assert len(s) == 1000
+        assert set(s) <= set("ACGT")
+
+    def test_roughly_uniform(self, rng):
+        s = random_dna(rng, 40_000)
+        for base in "ACGT":
+            assert s.count(base) / len(s) == pytest.approx(0.25, abs=0.02)
+
+    def test_zero_length(self, rng):
+        assert random_dna(rng, 0) == ""
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_dna(rng, -1)
+
+    def test_deterministic(self):
+        a = random_dna(np.random.default_rng(5), 100)
+        b = random_dna(np.random.default_rng(5), 100)
+        assert a == b
+
+
+class TestMutate:
+    def test_zero_rates_identity(self, rng):
+        s = random_dna(rng, 500)
+        assert mutate(rng, s, sub_rate=0.0, indel_rate=0.0) == s
+
+    def test_sub_rate_approximate(self, rng):
+        s = random_dna(rng, 30_000)
+        m = mutate(rng, s, sub_rate=0.1, indel_rate=0.0)
+        assert len(m) == len(s)
+        diffs = sum(1 for a, b in zip(s, m) if a != b)
+        assert diffs / len(s) == pytest.approx(0.1, rel=0.15)
+
+    def test_substitution_never_same_base(self, rng):
+        s = "A" * 5000
+        m = mutate(rng, s, sub_rate=1.0, indel_rate=0.0)
+        assert "A" not in m
+
+    def test_indels_change_length(self, rng):
+        s = random_dna(rng, 5000)
+        m = mutate(rng, s, sub_rate=0.0, indel_rate=0.05)
+        assert len(m) != len(s)
+
+    def test_rate_validation(self, rng):
+        with pytest.raises(ValueError):
+            mutate(rng, "ACGT", sub_rate=1.5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0, 0.3), st.floats(0, 0.05))
+    def test_output_alphabet(self, sub, ind):
+        rng = np.random.default_rng(3)
+        m = mutate(rng, random_dna(rng, 300), sub_rate=sub, indel_rate=ind)
+        assert set(m) <= set("ACGT")
+
+
+class TestStructuredInserts:
+    def test_repeats_create_self_similarity(self, rng):
+        from repro.align.classic import smith_waterman
+
+        s = insert_repeats(rng, random_dna(rng, 3000), n_families=1,
+                           family_len=200, copies_per_family=3, divergence=0.0)
+        # two exact copies of a 200-nt family must exist: check via seeds
+        from repro.encoding import encode, seed_codes
+        from repro.index import CsrSeedIndex
+        from repro.io.bank import Bank
+
+        b = Bank.from_strings([("g", s)])
+        idx = CsrSeedIndex(b, 11)
+        counts = idx.code_counts
+        assert (counts >= 3).any()
+
+    def test_low_complexity_tracts_masked_by_dust(self, rng):
+        from repro.filters import dust_mask
+        from repro.io.bank import Bank
+
+        s = insert_low_complexity(rng, random_dna(rng, 2000), n_tracts=2, tract_len=80)
+        b = Bank.from_strings([("g", s)])
+        assert dust_mask(b).sum() >= 60
+
+    def test_short_input_returned_unchanged(self, rng):
+        s = random_dna(rng, 50)
+        assert insert_repeats(rng, s, family_len=300) == s
+        assert insert_low_complexity(rng, s, tract_len=60) == s
+
+
+class TestEstBank:
+    def test_fragments_come_from_genes(self, rng):
+        tx = Transcriptome.generate(rng, n_genes=5, mean_len=500)
+        bank = make_est_bank(rng, tx, 30, error_rate=0.0)
+        # with zero error every EST is an exact substring of some gene
+        # (modulo the optional poly-A tail)
+        hits = 0
+        for i in range(bank.n_sequences):
+            est = bank.sequence_str(i).rstrip("A")
+            if any(est in gene for gene in tx.genes):
+                hits += 1
+        assert hits >= 25
+
+    def test_bank_shape(self, rng):
+        tx = Transcriptome.generate(rng, n_genes=10)
+        bank = make_est_bank(rng, tx, 40, mean_len=300)
+        assert bank.n_sequences == 40
+        mean = bank.size_nt / 40
+        assert 100 <= mean <= 600
+
+    def test_shared_transcriptome_gives_homology(self, rng):
+        from repro.core import OrisEngine, OrisParams
+
+        tx = Transcriptome.generate(rng, n_genes=10, mean_len=600)
+        b1 = make_est_bank(rng, tx, 30)
+        b2 = make_est_bank(rng, tx, 30)
+        res = OrisEngine(OrisParams()).compare(b1, b2)
+        assert len(res.records) > 5
+
+
+class TestGenomes:
+    def test_genome_single_sequence(self, rng):
+        g = make_genome(rng, 20_000)
+        assert g.n_sequences == 1
+        assert g.size_nt == 20_000
+
+    def test_related_genome_alignable(self, rng):
+        from repro.core import OrisEngine, OrisParams
+
+        g = make_genome(rng, 15_000, n_repeat_families=0, n_lc_tracts=0)
+        rel = make_related_genome(rng, g, divergence=0.05)
+        res = OrisEngine(OrisParams()).compare(g, rel)
+        covered = sum(r.length for r in res.records)
+        assert covered > 5_000
+
+    def test_viral_bank_mixed_homology(self, rng):
+        from repro.core import OrisEngine, OrisParams
+
+        v = make_viral_bank(rng, 40, mean_len=800, n_families=4, family_size=4)
+        assert v.n_sequences == 40
+        res = OrisEngine(OrisParams()).compare(v, v)
+        # family members align to each other (beyond self-hits)
+        cross = [r for r in res.records if r.query_id != r.subject_id]
+        assert len(cross) > 5
