@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""CI smoke test: SIGKILL a checkpointed parallel comparison mid-run,
+resume it, and require byte-identical output.
+
+This exercises the full resilience story end to end, across real process
+boundaries (no fault injection, no mocks):
+
+  1. run the serial engine for a reference output;
+  2. launch ``scoris-n --workers 2 --checkpoint ckpt/`` as a subprocess,
+     wait until its journal shows completed tasks, then SIGKILL the whole
+     process group — exactly what a batch scheduler's OOM killer does;
+  3. re-run with ``--resume`` and assert the output file is byte-identical
+     to the uninterrupted serial run.
+
+Exit status 0 on success; non-zero with a diagnostic otherwise.
+Run from the repository root with ``PYTHONPATH=src``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.data.synthetic import mutate, random_dna  # noqa: E402
+from repro.io.bank import Bank  # noqa: E402
+
+N_SEQS = 40
+SEQ_LEN = 1200
+KILL_AFTER_TASKS = 2  # SIGKILL once this many task lines hit the journal
+TIMEOUT = 600.0
+
+
+def build_banks(directory: Path) -> tuple[Path, Path]:
+    import numpy as np
+
+    rng = np.random.default_rng(20080517)
+    cores = [random_dna(rng, SEQ_LEN) for _ in range(N_SEQS)]
+    b1 = Bank.from_strings(
+        [(f"q{i}", random_dna(rng, 80) + c) for i, c in enumerate(cores)]
+    )
+    b2 = Bank.from_strings(
+        [
+            (f"s{i}", mutate(rng, c, sub_rate=0.04) + random_dna(rng, 80))
+            for i, c in enumerate(cores)
+        ]
+    )
+    p1, p2 = directory / "bank1.fa", directory / "bank2.fa"
+    b1.to_fasta(p1)
+    b2.to_fasta(p2)
+    return p1, p2
+
+
+def cli(*args: str) -> list[str]:
+    return [sys.executable, "-m", "repro.cli", *map(str, args)]
+
+
+def env() -> dict[str, str]:
+    e = dict(os.environ)
+    e["PYTHONPATH"] = str(SRC) + os.pathsep + e.get("PYTHONPATH", "")
+    return e
+
+
+def journal_task_lines(journal: Path) -> int:
+    if not journal.is_file():
+        return -1  # no journal yet (header not written)
+    n = sum(1 for line in journal.read_bytes().splitlines() if line.strip())
+    return n - 1  # minus the header line
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="scoris_smoke_") as td:
+        tmp = Path(td)
+        fa1, fa2 = build_banks(tmp)
+        ref = tmp / "reference.m8"
+        out = tmp / "resumed.m8"
+        ckpt = tmp / "ckpt"
+        journal = ckpt / "journal.jsonl"
+
+        print("[smoke] serial reference run ...", flush=True)
+        subprocess.run(
+            cli(fa1, fa2, "-o", ref), env=env(), check=True, timeout=TIMEOUT
+        )
+        n_ref = sum(1 for _ in ref.open())
+        print(f"[smoke] reference: {n_ref} records", flush=True)
+
+        print("[smoke] launching checkpointed parallel run ...", flush=True)
+        proc = subprocess.Popen(
+            cli(fa1, fa2, "--workers", "2", "--checkpoint", ckpt, "-o", out),
+            env=env(),
+            start_new_session=True,  # own process group: killpg reaps workers
+        )
+        deadline = time.monotonic() + TIMEOUT
+        killed = False
+        while time.monotonic() < deadline:
+            done = journal_task_lines(journal)
+            if done >= KILL_AFTER_TASKS and proc.poll() is None:
+                os.killpg(proc.pid, signal.SIGKILL)
+                proc.wait()
+                killed = True
+                print(
+                    f"[smoke] SIGKILLed run after {done} journalled tasks",
+                    flush=True,
+                )
+                break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.01)
+        if not killed:
+            if proc.poll() is None:
+                os.killpg(proc.pid, signal.SIGKILL)
+                proc.wait()
+                print("[smoke] ERROR: run never journalled a task", flush=True)
+                return 1
+            # The run outpaced the poller; resume still must be a clean no-op.
+            print(
+                "[smoke] WARNING: run finished before the kill "
+                "(machine too fast / banks too small); "
+                "resume degenerates to a no-op check",
+                flush=True,
+            )
+
+        if not journal.is_file():
+            print("[smoke] ERROR: no journal written before the kill")
+            return 1
+        print(
+            f"[smoke] journal holds {journal_task_lines(journal)} task lines; "
+            "resuming ...",
+            flush=True,
+        )
+        res = subprocess.run(
+            cli(
+                fa1, fa2, "--workers", "2", "--checkpoint", ckpt,
+                "--resume", "-o", out, "--stats",
+            ),
+            env=env(),
+            capture_output=True,
+            text=True,
+            timeout=TIMEOUT,
+        )
+        sys.stderr.write(res.stderr)
+        if res.returncode != 0:
+            print(f"[smoke] ERROR: --resume exited {res.returncode}")
+            return 1
+
+        if out.read_bytes() != ref.read_bytes():
+            print(
+                "[smoke] ERROR: resumed output differs from the "
+                "uninterrupted serial run"
+            )
+            return 1
+        print(
+            f"[smoke] OK: resumed output is byte-identical "
+            f"({n_ref} records)",
+            flush=True,
+        )
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

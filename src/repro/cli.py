@@ -109,6 +109,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="output sort criterion (paper step 4; default evalue)",
     )
     parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="ORIS only: worker processes for step 2 (default 1 = serial); "
+        "N > 1 runs the fault-tolerant scheduler (paper section 4 "
+        "parallelism with retries, timeouts and crash recovery)",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="ORIS only: journal completed step-2 ranges to DIR so a "
+        "killed run can be resumed with --resume",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from the --checkpoint journal, skipping ranges a "
+        "previous (possibly killed) run already completed",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-range-task deadline; a task past it is killed and "
+        "requeued on a fresh worker (default: no timeout)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=2, metavar="K",
+        help="re-executions allowed per range task before it is "
+        "quarantined (default 2)",
+    )
+    parser.add_argument(
         "--stats", action="store_true",
         help="print per-step timings and work counters to stderr",
     )
@@ -121,6 +147,25 @@ def build_parser() -> argparse.ArgumentParser:
 def run(argv: list[str] | None = None) -> int:
     """Entry point logic; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    use_runtime = (
+        args.workers > 1 or args.checkpoint is not None or args.resume
+    )
+    if args.resume and args.checkpoint is None:
+        print("scoris-n: --resume requires --checkpoint DIR", file=sys.stderr)
+        return 2
+    if use_runtime and args.engine != "oris":
+        print(
+            "scoris-n: --workers/--checkpoint/--resume require --engine oris",
+            file=sys.stderr,
+        )
+        return 2
+    if use_runtime and args.strand != "plus":
+        print(
+            "scoris-n: the resilient runtime searches a single strand "
+            "(--strand plus)",
+            file=sys.stderr,
+        )
+        return 2
     scoring = ScoringScheme(
         match=args.match,
         mismatch=args.mismatch,
@@ -182,7 +227,19 @@ def run(argv: list[str] | None = None) -> int:
             )
         )
 
-    result = engine.compare(bank1, bank2)
+    if use_runtime:
+        from .runtime.scheduler import RuntimeConfig, compare_resilient
+
+        config = RuntimeConfig(
+            n_workers=max(args.workers, 1),
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
+            checkpoint_dir=args.checkpoint,
+            resume=args.resume,
+        )
+        result = compare_resilient(bank1, bank2, engine.params, config)
+    else:
+        result = engine.compare(bank1, bank2)
     text = format_m8(result.records)
     if args.output == "-":
         sys.stdout.write(text)
@@ -203,6 +260,14 @@ def run(argv: list[str] | None = None) -> int:
             f"alignments={c.n_alignments} records={c.n_records}",
             file=sys.stderr,
         )
+        if use_runtime:
+            print(
+                f"# runtime: retries={c.n_retries} crashes={c.n_crashes} "
+                f"timeouts={c.n_timeouts} quarantined={c.n_quarantined} "
+                f"degraded={c.n_degraded} skipped={c.n_skipped_tasks} "
+                f"resumed={c.n_resumed}",
+                file=sys.stderr,
+            )
     return 0
 
 

@@ -79,6 +79,15 @@ class WorkCounters:
     n_alignments: int = 0  # alignments stored
     n_records: int = 0  # records after e-value filtering
     n_waves: int = 0  # step-3 scheduling waves
+    # Resilient-runtime metrics (repro.runtime.scheduler); all zero on
+    # serial and plain-parallel runs.
+    n_retries: int = 0  # task re-executions (any cause)
+    n_crashes: int = 0  # worker deaths detected mid-task
+    n_timeouts: int = 0  # tasks killed for exceeding their deadline
+    n_quarantined: int = 0  # tasks that exhausted their retries
+    n_degraded: int = 0  # tasks completed in-parent after degradation
+    n_skipped_tasks: int = 0  # poisoned tasks dropped from the result
+    n_resumed: int = 0  # tasks restored from a checkpoint journal
 
 
 @dataclass(slots=True)

@@ -7,35 +7,60 @@ parallel since seed order prevents identical HSPs to be generated.  The
 two inner loops can also be highly parallelized as the ungapped extensions
 refer to independent computations."
 
-This module realises exactly that decomposition with ``multiprocessing``
-(fork start method): the ascending list of common seed codes is split into
-``n_workers`` contiguous ranges; each worker runs the step-2 batch
-extension over its range; the parent merges the per-worker HSP chunks and
-runs steps 3-4 as usual.  Correctness needs no inter-worker communication
-precisely because of the paper's argument -- the ordered-seed cutoff makes
-every HSP the product of exactly one seed, hence of exactly one worker.
+This module realises exactly that decomposition with ``multiprocessing``:
+the ascending list of common seed codes is split into contiguous ranges;
+each worker runs the step-2 batch extension over its range; the parent
+merges the per-worker HSP chunks and runs steps 3-4 as usual.  Correctness
+needs no inter-worker communication precisely because of the paper's
+argument -- the ordered-seed cutoff makes every HSP the product of exactly
+one seed, hence of exactly one worker.
 
-Banks and indexes are handed to workers through fork-inherited module
-state (copy-on-write), so nothing large is pickled.
+Workers receive a :class:`RangePayload`: a *compact*, picklable bundle of
+exactly the arrays one range task needs (encoded banks, CSR positions,
+cutoff codes, the common-code extents, scoring parameters).  Under the
+``fork`` start method the payload is inherited copy-on-write (nothing is
+pickled); under ``spawn``/``forkserver`` it is pickled once per worker, so
+the decomposition also works on platforms without ``fork``.
+
+The same payload + :func:`run_range` pair is the unit of work of the
+fault-tolerant scheduler in :mod:`repro.runtime.scheduler`; range tasks
+are idempotent and restartable because each one is a pure function of the
+payload, which is what makes retries, requeues, and checkpoint/resume
+sound.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import time
+import warnings
+from dataclasses import dataclass, field
+from types import SimpleNamespace
 
 import numpy as np
 
-from ..align.ungapped import batch_extend
+from ..align.ungapped import batch_extend, span_initial_score
 from ..align.hsp import HSPTable
-from ..index.seed_index import CommonCodes
+from ..index.seed_index import CommonCodes, CsrSeedIndex
 from ..io.bank import Bank
-from .engine import ComparisonResult, OrisEngine, WorkCounters
+from .engine import ComparisonResult, OrisEngine, StepTimings, WorkCounters
 from .pairs import iter_pair_chunks
 from .params import OrisParams
 
-__all__ = ["compare_parallel", "split_code_ranges"]
+__all__ = [
+    "compare_parallel",
+    "split_code_ranges",
+    "RangePayload",
+    "RangeResult",
+    "FaultSpec",
+    "build_range_payload",
+    "run_range",
+    "resolve_start_method",
+]
 
-#: Fork-inherited worker state: (index1, index2, common, params, threshold).
+#: Per-worker state installed by the pool initializer (fork: inherited
+#: reference, zero-copy; spawn: unpickled once per worker process).
 _WORKER_STATE: dict = {}
 
 
@@ -54,49 +79,328 @@ def split_code_ranges(n_codes: int, n_workers: int) -> list[tuple[int, int]]:
     ]
 
 
-def _worker_ungapped(code_range: tuple[int, int]):
-    """Run step 2 over one contiguous slice of the common-code list."""
-    index1 = _WORKER_STATE["index1"]
-    index2 = _WORKER_STATE["index2"]
-    common: CommonCodes = _WORKER_STATE["common"]
-    params: OrisParams = _WORKER_STATE["params"]
-    threshold: int = _WORKER_STATE["threshold"]
-    lo, hi = code_range
-    sub = CommonCodes(
-        codes=common.codes[lo:hi],
-        start1=common.start1[lo:hi],
-        count1=common.count1[lo:hi],
-        start2=common.start2[lo:hi],
-        count2=common.count2[lo:hi],
+# --------------------------------------------------------------------- #
+# Fault injection (test-only hook)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Test-only hook: make :func:`run_range` misbehave on a chosen range.
+
+    The fault fires when a task whose range starts at :attr:`lo` is
+    executed, at most :attr:`times` times across *all* processes; firings
+    are counted in the :attr:`marker` file (one byte appended per firing),
+    which survives worker crashes -- a freshly spawned retry worker sees
+    how often the fault already fired.  This is what lets tests assert
+    "worker dies once, retry succeeds" deterministically.
+
+    Modes: ``"raise"`` (ordinary exception), ``"exit"`` (``os._exit``,
+    simulating a hard crash the worker cannot report), ``"hang"`` (sleep
+    past any reasonable deadline, simulating a livelock).
+    """
+
+    lo: int
+    mode: str = "raise"  # "raise" | "exit" | "hang"
+    times: int = 1
+    marker: str = ""
+    hang_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("raise", "exit", "hang"):
+            raise ValueError("fault mode must be raise/exit/hang")
+        if self.times > 0 and not self.marker:
+            raise ValueError("a finite fault needs a marker file path")
+
+
+def _maybe_trigger_fault(fault: FaultSpec | None, lo: int) -> None:
+    if fault is None or fault.lo != lo:
+        return
+    if fault.times > 0:
+        try:
+            fired = os.path.getsize(fault.marker)
+        except OSError:
+            fired = 0
+        if fired >= fault.times:
+            return
+        with open(fault.marker, "ab") as fh:
+            fh.write(b"x")
+    if fault.mode == "exit":
+        os._exit(17)
+    if fault.mode == "hang":
+        time.sleep(fault.hang_seconds)
+        return
+    raise RuntimeError(f"injected fault on range starting at {lo}")
+
+
+# --------------------------------------------------------------------- #
+# The unit of work: one contiguous slice of the common-code list
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class RangePayload:
+    """Everything a step-2 range task needs, compact and picklable.
+
+    This deliberately carries *arrays*, not index objects: the encoded
+    banks, the CSR position lists, the cutoff-code arrays, and the
+    common-code extents.  Pickling it (spawn start method, or shipping to
+    a fresh retry worker) costs one copy of data the workers need anyway,
+    with none of the index-construction caches.
+    """
+
+    seq1: np.ndarray
+    seq2: np.ndarray
+    positions1: np.ndarray
+    positions2: np.ndarray
+    cutoff_codes1: np.ndarray
+    codes: np.ndarray
+    start1: np.ndarray
+    count1: np.ndarray
+    start2: np.ndarray
+    count2: np.ndarray
+    span: int
+    spaced: bool
+    ok2: np.ndarray | None
+    codes2: np.ndarray | None
+    params: OrisParams
+    threshold: int
+    fault: FaultSpec | None = field(default=None, repr=False)
+
+    @property
+    def n_codes(self) -> int:
+        return int(self.codes.shape[0])
+
+
+@dataclass
+class RangeResult:
+    """HSPs and work counters of one completed range task."""
+
+    start1: np.ndarray
+    end1: np.ndarray
+    start2: np.ndarray
+    score: np.ndarray
+    n_pairs: int
+    n_cut: int
+    steps: int
+
+    @property
+    def n_hsps(self) -> int:
+        return int(self.start1.shape[0])
+
+
+def build_range_payload(
+    index1: CsrSeedIndex,
+    index2: CsrSeedIndex,
+    common: CommonCodes,
+    params: OrisParams,
+    threshold: int,
+    fault: FaultSpec | None = None,
+) -> RangePayload:
+    """Flatten two indexes + their common codes into a worker payload."""
+    spaced = index1.mask is not None
+    return RangePayload(
+        seq1=index1.bank.seq,
+        seq2=index2.bank.seq,
+        positions1=index1.positions,
+        positions2=index2.positions,
+        cutoff_codes1=index1.cutoff_codes,
+        codes=common.codes,
+        start1=common.start1,
+        count1=common.count1,
+        start2=common.start2,
+        count2=common.count2,
+        span=index1.span,
+        spaced=spaced,
+        ok2=None if spaced else index2.indexed_mask,
+        codes2=index2.cutoff_codes if spaced else None,
+        params=params,
+        threshold=threshold,
+        fault=fault,
     )
-    w = params.effective_w
-    out = []
+
+
+def run_range(payload: RangePayload, lo: int, hi: int) -> RangeResult:
+    """Run step 2 over ``payload.codes[lo:hi]`` (pure, idempotent).
+
+    The result depends only on the payload and the range bounds, so a
+    crashed or timed-out execution can simply be repeated -- the paper's
+    one-seed-one-HSP argument guarantees no other task produces any of
+    these HSPs.
+    """
+    _maybe_trigger_fault(payload.fault, lo)
+    params = payload.params
+    sub = CommonCodes(
+        codes=payload.codes[lo:hi],
+        start1=payload.start1[lo:hi],
+        count1=payload.count1[lo:hi],
+        start2=payload.start2[lo:hi],
+        count2=payload.count2[lo:hi],
+    )
+    # iter_pair_chunks only touches .positions on the index arguments.
+    view1 = SimpleNamespace(positions=payload.positions1)
+    view2 = SimpleNamespace(positions=payload.positions2)
+    w = payload.span
+    out: list[tuple[np.ndarray, ...]] = []
     n_pairs = 0
     n_cut = 0
     steps = 0
     for chunk in iter_pair_chunks(
-        index1, index2, sub, params.chunk_pairs, params.max_occurrences
+        view1, view2, sub, params.chunk_pairs, params.max_occurrences
     ):
         n_pairs += chunk.n_pairs
+        init = (
+            span_initial_score(
+                payload.seq1, payload.seq2, chunk.p1, chunk.p2, w, params.scoring
+            )
+            if payload.spaced
+            else None
+        )
         res = batch_extend(
-            index1.bank.seq,
-            index2.bank.seq,
-            index1.cutoff_codes,
+            payload.seq1,
+            payload.seq2,
+            payload.cutoff_codes1,
             chunk.p1,
             chunk.p2,
             chunk.codes,
             w,
             params.scoring,
             ordered_cutoff=params.ordered_cutoff,
-            ok2=index2.indexed_mask,
+            ok2=payload.ok2,
+            codes2=payload.codes2,
+            initial_scores=init,
         )
         steps += res.steps
         n_cut += int((~res.kept).sum())
-        keep = res.kept & (res.score >= threshold)
+        keep = res.kept & (res.score >= payload.threshold)
         out.append(
             (res.start1[keep], res.end1[keep], res.start2[keep], res.score[keep])
         )
-    return out, n_pairs, n_cut, steps
+    if out:
+        s1 = np.concatenate([c[0] for c in out])
+        e1 = np.concatenate([c[1] for c in out])
+        s2 = np.concatenate([c[2] for c in out])
+        sc = np.concatenate([c[3] for c in out])
+    else:
+        s1 = np.empty(0, dtype=np.int64)
+        e1, s2, sc = s1.copy(), s1.copy(), s1.copy()
+    return RangeResult(
+        start1=s1, end1=e1, start2=s2, score=sc,
+        n_pairs=n_pairs, n_cut=n_cut, steps=steps,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Pool plumbing
+# --------------------------------------------------------------------- #
+
+
+def _init_pool_worker(payload: RangePayload) -> None:
+    _WORKER_STATE["payload"] = payload
+
+
+def _pool_worker(code_range: tuple[int, int]) -> RangeResult:
+    return run_range(_WORKER_STATE["payload"], *code_range)
+
+
+def resolve_start_method(preferred: str | None = None) -> str | None:
+    """Pick a multiprocessing start method, warning on non-``fork``.
+
+    Returns ``None`` when multiprocessing is unusable (no start method at
+    all), which callers treat as "run serially".  ``fork`` is preferred
+    (copy-on-write payload, no pickling); ``spawn``/``forkserver`` work
+    through the pickled payload and are announced with an explicit
+    warning so slow start-up is never silent.
+    """
+    available = mp.get_all_start_methods()
+    if preferred is not None:
+        if preferred not in available:
+            warnings.warn(
+                f"multiprocessing start method {preferred!r} unavailable "
+                f"(have: {available}); falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        method = preferred
+    elif "fork" in available:
+        method = "fork"
+    elif available:
+        method = available[0]
+    else:  # pragma: no cover - no known platform hits this
+        warnings.warn(
+            "no multiprocessing start method available; running serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    if method != "fork":
+        warnings.warn(
+            f"fork start method unavailable or not selected; using "
+            f"{method!r} (worker payloads are pickled once per worker)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return method
+
+
+# --------------------------------------------------------------------- #
+# Parent-side orchestration
+# --------------------------------------------------------------------- #
+
+
+def merge_range_results(
+    results: dict[int, RangeResult] | list[RangeResult],
+    counters: WorkCounters,
+) -> HSPTable:
+    """Fold completed range tasks (ascending task order) into one table."""
+    table = HSPTable()
+    if isinstance(results, dict):
+        ordered = [results[k] for k in sorted(results)]
+    else:
+        ordered = results
+    for res in ordered:
+        counters.n_pairs += res.n_pairs
+        counters.n_cut += res.n_cut
+        counters.ungapped_steps += res.steps
+        table.append_chunk(res.start1, res.end1, res.start2, res.score)
+    counters.n_hsps = len(table)
+    return table
+
+
+def finish_comparison(
+    engine: OrisEngine,
+    bank1: Bank,
+    bank2: Bank,
+    table: HSPTable,
+    counters: WorkCounters,
+    timings: StepTimings,
+    stats,
+) -> ComparisonResult:
+    """Steps 3-4 on a merged HSP table (shared by parallel + resilient)."""
+    from ..align.records import alignments_to_m8, sort_records
+
+    params = engine.params
+    t0 = time.perf_counter()
+    alignments = engine._gapped_stage(bank1, bank2, table, counters)
+    counters.n_alignments = len(alignments)
+    timings.gapped = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    records = alignments_to_m8(
+        alignments, bank1, bank2, stats, max_evalue=params.max_evalue
+    )
+    records = sort_records(records, key=params.sort_key)
+    counters.n_records = len(records)
+    timings.display = time.perf_counter() - t0
+
+    return ComparisonResult(
+        records=records,
+        alignments=alignments,
+        timings=timings,
+        counters=counters,
+        params=params,
+    )
 
 
 def compare_parallel(
@@ -104,6 +408,7 @@ def compare_parallel(
     bank2: Bank,
     params: OrisParams | None = None,
     n_workers: int = 2,
+    start_method: str | None = None,
 ) -> ComparisonResult:
     """ORIS comparison with step 2 parallelised across processes.
 
@@ -112,73 +417,57 @@ def compare_parallel(
     independent under the ordered-seed cutoff.  Steps 1, 3 and 4 run in
     the parent.
 
-    Falls back to the sequential engine when ``n_workers == 1`` or the
-    platform lacks the ``fork`` start method.
+    ``start_method`` picks the multiprocessing start method explicitly
+    (tests use ``"spawn"``); by default ``fork`` is preferred and any
+    non-``fork`` choice is announced with a :class:`RuntimeWarning`.
+    Falls back to the sequential engine when ``n_workers == 1`` or no
+    start method is usable.
     """
     params = params or OrisParams()
     if params.strand != "plus":
         raise ValueError(
             "compare_parallel runs a single strand; call it per strand"
         )
+    if not params.ordered_cutoff:
+        raise ValueError(
+            "parallel step 2 requires the ordered-seed cutoff (it is what "
+            "makes seed ranges independent)"
+        )
     engine = OrisEngine(params)
-    if n_workers <= 1 or "fork" not in mp.get_all_start_methods():
+    if n_workers <= 1:
+        return engine.compare(bank1, bank2)
+    method = resolve_start_method(start_method)
+    if method is None:
         return engine.compare(bank1, bank2)
 
-    import time as _time
-
     from ..align.evalue import karlin_params
-    from ..align.records import alignments_to_m8, sort_records
-    from .engine import StepTimings
 
     timings = StepTimings()
     counters = WorkCounters()
     stats = karlin_params(params.scoring)
 
-    t0 = _time.perf_counter()
+    t0 = time.perf_counter()
     index1, index2 = engine._build_indexes(bank1, bank2)
     common = index1.common_codes(index2)
     threshold = engine._resolve_hsp_min_score(bank1, bank2, stats)
-    timings.index = _time.perf_counter() - t0
+    timings.index = time.perf_counter() - t0
 
-    t0 = _time.perf_counter()
-    _WORKER_STATE.update(
-        index1=index1, index2=index2, common=common,
-        params=params, threshold=threshold,
-    )
-    try:
-        ranges = split_code_ranges(common.n_codes, n_workers)
-        ctx = mp.get_context("fork")
-        with ctx.Pool(processes=len(ranges)) as pool:
-            results = pool.map(_worker_ungapped, ranges)
-    finally:
-        _WORKER_STATE.clear()
-    table = HSPTable()
-    for chunks, n_pairs, n_cut, steps in results:
-        counters.n_pairs += n_pairs
-        counters.n_cut += n_cut
-        counters.ungapped_steps += steps
-        for s1, e1, s2, sc in chunks:
-            table.append_chunk(s1, e1, s2, sc)
-    counters.n_hsps = len(table)
-    timings.ungapped = _time.perf_counter() - t0
+    t0 = time.perf_counter()
+    payload = build_range_payload(index1, index2, common, params, threshold)
+    ranges = split_code_ranges(common.n_codes, n_workers)
+    if ranges:
+        ctx = mp.get_context(method)
+        with ctx.Pool(
+            processes=len(ranges),
+            initializer=_init_pool_worker,
+            initargs=(payload,),
+        ) as pool:
+            results = pool.map(_pool_worker, ranges)
+    else:
+        results = []
+    table = merge_range_results(results, counters)
+    timings.ungapped = time.perf_counter() - t0
 
-    t0 = _time.perf_counter()
-    alignments = engine._gapped_stage(bank1, bank2, table, counters)
-    counters.n_alignments = len(alignments)
-    timings.gapped = _time.perf_counter() - t0
-
-    t0 = _time.perf_counter()
-    records = alignments_to_m8(
-        alignments, bank1, bank2, stats, max_evalue=params.max_evalue
-    )
-    records = sort_records(records, key=params.sort_key)
-    counters.n_records = len(records)
-    timings.display = _time.perf_counter() - t0
-
-    return ComparisonResult(
-        records=records,
-        alignments=alignments,
-        timings=timings,
-        counters=counters,
-        params=params,
+    return finish_comparison(
+        engine, bank1, bank2, table, counters, timings, stats
     )

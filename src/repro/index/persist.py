@@ -6,45 +6,81 @@ for a library, being able to build an index once and reload it (the
 archive stores the encoded bank, its layout, and the CSR arrays; loading
 reconstructs a :class:`~repro.index.seed_index.CsrSeedIndex` without
 re-sorting.
+
+Archives are *verified* on load: the format version must match and a
+CRC-32 over every stored array (computed at save time, kept in the meta
+block) must agree with the loaded contents.  A truncated download, a
+bit-flip on disk, or an archive from an incompatible version raises
+:class:`~repro.runtime.errors.IndexCorrupt` -- the resilient runtime's
+resume path depends on never silently deserialising garbage inputs.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
+import zipfile
 
 import numpy as np
 
 from ..io.bank import Bank
+from ..runtime.errors import IndexCorrupt
 from .seed_index import CsrSeedIndex
 
 __all__ = ["save_index", "load_index"]
 
 #: Archive format version (bump on layout changes).
-FORMAT_VERSION = 1
+#: v2 adds the mandatory content checksum.
+FORMAT_VERSION = 2
+
+#: Array fields covered by the content checksum, in checksum order.
+_ARRAY_FIELDS = (
+    "seq",
+    "starts",
+    "lengths",
+    "positions",
+    "sorted_codes",
+    "unique_codes",
+    "code_starts",
+    "code_counts",
+    "codes_at",
+)
+
+
+def _content_crc(arrays: dict[str, np.ndarray]) -> int:
+    """CRC-32 over the raw bytes of every persisted array, field order."""
+    crc = 0
+    for name in _ARRAY_FIELDS:
+        crc = zlib.crc32(np.ascontiguousarray(arrays[name]).tobytes(), crc)
+    return crc
 
 
 def save_index(path, index: CsrSeedIndex) -> None:
     """Serialise *index* (with its bank) to ``path`` as ``.npz``."""
     bank = index.bank
+    arrays = {
+        "seq": bank.seq,
+        "starts": bank.starts,
+        "lengths": bank.lengths,
+        "positions": index.positions,
+        "sorted_codes": index.sorted_codes,
+        "unique_codes": index.unique_codes,
+        "code_starts": index.code_starts,
+        "code_counts": index.code_counts,
+        "codes_at": index.codes_at,
+    }
     meta = {
         "version": FORMAT_VERSION,
         "w": index.w,
         "span": index.span,
         "mask": index.mask.pattern if index.mask is not None else None,
         "names": bank.names,
+        "crc": _content_crc(arrays),
     }
     np.savez_compressed(
         path,
         meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
-        seq=bank.seq,
-        starts=bank.starts,
-        lengths=bank.lengths,
-        positions=index.positions,
-        sorted_codes=index.sorted_codes,
-        unique_codes=index.unique_codes,
-        code_starts=index.code_starts,
-        code_counts=index.code_counts,
-        codes_at=index.codes_at,
+        **arrays,
     )
 
 
@@ -52,44 +88,75 @@ def load_index(path) -> CsrSeedIndex:
     """Load an index saved with :func:`save_index`.
 
     The bank is reconstructed from the stored arrays; the CSR arrays are
-    installed directly (no re-sorting).
+    installed directly (no re-sorting).  Raises
+    :class:`~repro.runtime.errors.IndexCorrupt` (a :class:`ValueError`
+    subclass) when the archive is structurally damaged, carries an
+    unsupported format version, or fails its content checksum.
     """
-    with np.load(path) as z:
-        meta = json.loads(bytes(z["meta"]).decode("utf-8"))
-        if meta.get("version") != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported index archive version {meta.get('version')!r}"
-            )
-        seq = z["seq"]
-        starts = z["starts"]
-        lengths = z["lengths"]
-        names = list(meta["names"])
+    try:
+        with np.load(path) as z:
+            try:
+                meta = json.loads(bytes(z["meta"]).decode("utf-8"))
+            except (KeyError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise IndexCorrupt(
+                    f"index archive {path!s}: unreadable meta block ({exc})"
+                ) from None
+            if meta.get("version") != FORMAT_VERSION:
+                raise IndexCorrupt(
+                    f"unsupported index archive version {meta.get('version')!r}"
+                    f" (expected {FORMAT_VERSION})"
+                )
+            try:
+                arrays = {name: z[name] for name in _ARRAY_FIELDS}
+            except KeyError as exc:
+                raise IndexCorrupt(
+                    f"index archive {path!s}: missing array {exc}"
+                ) from None
+            stored_crc = meta.get("crc")
+            if stored_crc is None or _content_crc(arrays) != int(stored_crc):
+                raise IndexCorrupt(
+                    f"index archive {path!s} failed its content checksum "
+                    "(truncated or corrupted data)"
+                )
+    except FileNotFoundError:
+        raise
+    except IndexCorrupt:
+        raise
+    except (zipfile.BadZipFile, zlib.error, OSError, EOFError, ValueError) as exc:
+        # np.load / zipfile raise a zoo of exceptions on damaged archives;
+        # fold them into the structured taxonomy.
+        raise IndexCorrupt(f"index archive {path!s} is unreadable: {exc}") from exc
 
-        # Rebuild the bank from its stored pieces (bypass __init__'s
-        # re-concatenation: the array is already laid out).
-        bank = Bank.__new__(Bank)
-        bank.names = names
-        bank.lengths = lengths
-        bank.starts = starts
-        bank._ends = starts + lengths
-        seq = seq.copy()
-        seq.flags.writeable = False
-        bank.seq = seq
+    seq = arrays["seq"]
+    starts = arrays["starts"]
+    lengths = arrays["lengths"]
+    names = list(meta["names"])
 
-        from ..encoding.spaced import SpacedSeedMask
+    # Rebuild the bank from its stored pieces (bypass __init__'s
+    # re-concatenation: the array is already laid out).
+    bank = Bank.__new__(Bank)
+    bank.names = names
+    bank.lengths = lengths
+    bank.starts = starts
+    bank._ends = starts + lengths
+    seq = seq.copy()
+    seq.flags.writeable = False
+    bank.seq = seq
 
-        index = CsrSeedIndex.__new__(CsrSeedIndex)
-        index.bank = bank
-        index.w = int(meta["w"])
-        index.span = int(meta.get("span", meta["w"]))
-        mask_pattern = meta.get("mask")
-        index.mask = SpacedSeedMask(mask_pattern) if mask_pattern else None
-        index.positions = z["positions"].copy()
-        index.sorted_codes = z["sorted_codes"].copy()
-        index.unique_codes = z["unique_codes"].copy()
-        index.code_starts = z["code_starts"].copy()
-        index.code_counts = z["code_counts"].copy()
-        index.codes_at = z["codes_at"].copy()
-        index._indexed_mask = None
-        index._cutoff_codes = None
-        return index
+    from ..encoding.spaced import SpacedSeedMask
+
+    index = CsrSeedIndex.__new__(CsrSeedIndex)
+    index.bank = bank
+    index.w = int(meta["w"])
+    index.span = int(meta.get("span", meta["w"]))
+    mask_pattern = meta.get("mask")
+    index.mask = SpacedSeedMask(mask_pattern) if mask_pattern else None
+    index.positions = arrays["positions"].copy()
+    index.sorted_codes = arrays["sorted_codes"].copy()
+    index.unique_codes = arrays["unique_codes"].copy()
+    index.code_starts = arrays["code_starts"].copy()
+    index.code_counts = arrays["code_counts"].copy()
+    index.codes_at = arrays["codes_at"].copy()
+    index._indexed_mask = None
+    index._cutoff_codes = None
+    return index

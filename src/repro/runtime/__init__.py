@@ -1,0 +1,64 @@
+"""Resilient comparison runtime (checkpointed, fault-tolerant step 2).
+
+Public surface:
+
+* :mod:`repro.runtime.errors` -- structured error taxonomy
+  (:class:`WorkerCrash`, :class:`TaskTimeout`, :class:`CheckpointCorrupt`,
+  :class:`IndexCorrupt`, ...).
+* :mod:`repro.runtime.checkpoint` -- the append-only JSONL checkpoint
+  journal (:class:`CheckpointJournal`).
+* :mod:`repro.runtime.scheduler` -- the fault-tolerant task scheduler
+  (:class:`TaskScheduler`, :class:`RuntimeConfig`) and the end-to-end
+  entry point :func:`compare_resilient`.
+
+The scheduler and checkpoint modules are imported lazily (PEP 562) so
+that low-level modules (e.g. :mod:`repro.index.persist`, which raises
+:class:`~repro.runtime.errors.IndexCorrupt`) can depend on the error
+taxonomy without pulling the whole engine stack into their import graph.
+"""
+
+from __future__ import annotations
+
+from .errors import (
+    CheckpointCorrupt,
+    IndexCorrupt,
+    OrisRuntimeError,
+    PoolUnhealthy,
+    TaskPoisoned,
+    TaskTimeout,
+    WorkerCrash,
+)
+
+__all__ = [
+    "OrisRuntimeError",
+    "WorkerCrash",
+    "TaskTimeout",
+    "TaskPoisoned",
+    "PoolUnhealthy",
+    "CheckpointCorrupt",
+    "IndexCorrupt",
+    "CheckpointJournal",
+    "RuntimeConfig",
+    "TaskScheduler",
+    "compare_resilient",
+]
+
+_LAZY = {
+    "CheckpointJournal": "checkpoint",
+    "RuntimeConfig": "scheduler",
+    "TaskScheduler": "scheduler",
+    "compare_resilient": "scheduler",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f".{module}", __name__), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -1,0 +1,92 @@
+"""Structured error taxonomy of the resilient comparison runtime.
+
+Long bank-vs-bank comparisons are batch workloads: a single hung worker,
+one corrupted archive, or a stale checkpoint should be *diagnosable* and,
+where possible, *survivable*.  Every failure the runtime can recognise is
+therefore a distinct exception type, so callers (and the scheduler's own
+retry logic) can branch on the class instead of parsing messages.
+
+Hierarchy
+---------
+
+``OrisRuntimeError``
+    Base class of everything the runtime raises on purpose.
+``WorkerCrash``
+    A worker process died (signal, ``os._exit``, OOM kill) while a task
+    was in flight.  The scheduler converts these into requeues.
+``TaskTimeout``
+    A task exceeded its per-task deadline; the worker is killed and the
+    task requeued.  Subclasses :class:`TimeoutError` for idiomatic
+    ``except TimeoutError`` handling.
+``TaskPoisoned``
+    One range task kept failing after exhausting its retries *and* the
+    in-parent quarantine attempt; the run continues without it
+    (degraded result) unless the caller opts into strict mode.
+``PoolUnhealthy``
+    The worker pool accumulated too many failures to be trusted; the
+    scheduler degrades to in-parent serial execution.
+``CheckpointCorrupt``
+    A checkpoint journal does not belong to this run (fingerprint
+    mismatch), is structurally damaged, or references chunk data that
+    fails its checksum in strict contexts.
+``IndexCorrupt``
+    A persisted index archive failed its format-version or content
+    checksum verification.  Also a :class:`ValueError` so pre-existing
+    callers that caught ``ValueError`` keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "OrisRuntimeError",
+    "WorkerCrash",
+    "TaskTimeout",
+    "TaskPoisoned",
+    "PoolUnhealthy",
+    "CheckpointCorrupt",
+    "IndexCorrupt",
+]
+
+
+class OrisRuntimeError(Exception):
+    """Base class for all resilient-runtime failures."""
+
+
+class WorkerCrash(OrisRuntimeError):
+    """A worker process died while executing a range task."""
+
+    def __init__(self, message: str, task_id: int | None = None):
+        super().__init__(message)
+        self.task_id = task_id
+
+
+class TaskTimeout(OrisRuntimeError, TimeoutError):
+    """A range task exceeded its per-task deadline."""
+
+    def __init__(self, message: str, task_id: int | None = None):
+        super().__init__(message)
+        self.task_id = task_id
+
+
+class TaskPoisoned(OrisRuntimeError):
+    """A range task failed every retry and the quarantine attempt."""
+
+    def __init__(self, message: str, task_id: int | None = None):
+        super().__init__(message)
+        self.task_id = task_id
+
+
+class PoolUnhealthy(OrisRuntimeError):
+    """The worker pool accumulated too many failures to be trusted."""
+
+
+class CheckpointCorrupt(OrisRuntimeError):
+    """A checkpoint journal is damaged or belongs to a different run."""
+
+
+class IndexCorrupt(OrisRuntimeError, ValueError):
+    """A persisted index archive failed verification.
+
+    Inherits :class:`ValueError` for backward compatibility with callers
+    that treated any load failure as a value error.
+    """

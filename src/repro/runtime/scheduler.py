@@ -1,0 +1,566 @@
+"""Fault-tolerant scheduler for step-2 range tasks.
+
+The paper's ordered-seed cutoff makes every HSP the product of exactly
+one seed, hence of exactly one contiguous seed-code range.  Range tasks
+are therefore *idempotent, restartable units of work*: running one twice
+produces the same HSPs, and no other task can produce them.  This module
+exploits that property to make long bank-vs-bank comparisons survivable:
+
+* the common-code list is split into many small range tasks
+  (``tasks_per_worker`` x ``n_workers``, reusing
+  :func:`~repro.core.parallel.split_code_ranges`);
+* tasks run on a pool of worker *processes* the scheduler supervises
+  directly, each over its own duplex pipe (no shared queue: a worker
+  dying mid-write can only tear its *own* channel, never deadlock the
+  others behind a shared feeder lock), so a dead worker is detected by
+  ``Process.is_alive`` / end-of-pipe and a hung one by its per-task
+  deadline;
+* failed tasks are requeued with bounded exponential backoff; a task
+  that keeps failing is *quarantined*: retried once in the parent, and
+  if even that fails, dropped from the result with a warning (one
+  pathological seed range degrades the output instead of aborting the
+  whole run);
+* too many worker failures mark the pool unhealthy and the scheduler
+  degrades to in-parent serial execution of whatever remains;
+* every completed task can be journalled to a
+  :class:`~repro.runtime.checkpoint.CheckpointJournal`, so a killed run
+  resumes from the last completed range.
+
+:func:`compare_resilient` wraps the whole pipeline: steps 1, 3 and 4 in
+the parent (identical to the plain engine), step 2 through the scheduler.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import multiprocessing as mp
+import time
+import warnings
+import zlib
+from multiprocessing.connection import wait as _conn_wait
+from dataclasses import dataclass, field
+
+from ..core.engine import ComparisonResult, OrisEngine, StepTimings, WorkCounters
+from ..core.parallel import (
+    FaultSpec,
+    RangePayload,
+    RangeResult,
+    build_range_payload,
+    finish_comparison,
+    merge_range_results,
+    resolve_start_method,
+    run_range,
+    split_code_ranges,
+)
+from ..core.params import OrisParams
+from ..io.bank import Bank
+from .checkpoint import CheckpointJournal
+from .errors import PoolUnhealthy, TaskPoisoned
+
+__all__ = ["RuntimeConfig", "TaskScheduler", "compare_resilient"]
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs of the resilient runtime.
+
+    Attributes
+    ----------
+    n_workers:
+        Worker processes for step 2 (1 = in-parent serial execution,
+        which still supports checkpoint/resume).
+    tasks_per_worker:
+        Granularity multiplier: the code list is split into
+        ``n_workers * tasks_per_worker`` range tasks.  More tasks mean
+        finer checkpoints and cheaper retries, at slightly more dispatch
+        overhead.
+    task_timeout:
+        Per-task deadline in seconds (``None`` disables timeouts).  A
+        task past its deadline has its worker killed and is requeued.
+    max_retries:
+        Re-executions allowed per task before it is quarantined.
+    backoff_base / backoff_cap:
+        Exponential-backoff delay before a failed task becomes eligible
+        again: ``min(base * 2**(failures-1), cap)`` seconds.
+    max_pool_failures:
+        Worker crashes/timeouts tolerated before the pool is declared
+        unhealthy and the run degrades to in-parent execution
+        (default: ``2 * n_workers + 2``).
+    checkpoint_dir:
+        Directory for the checkpoint journal (``None`` = no journal).
+    resume:
+        Load previously completed tasks from ``checkpoint_dir`` instead
+        of recomputing them.  Requires a matching run fingerprint.
+    start_method:
+        Multiprocessing start method override (tests use ``"spawn"``).
+    strict:
+        Raise :class:`TaskPoisoned` instead of dropping a poisoned task.
+    poll_interval:
+        Scheduler event-loop granularity in seconds.
+    fault:
+        Test-only fault injection forwarded to the worker payload.
+    """
+
+    n_workers: int = 2
+    tasks_per_worker: int = 4
+    task_timeout: float | None = None
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    max_pool_failures: int | None = None
+    checkpoint_dir: str | None = None
+    resume: bool = False
+    start_method: str | None = None
+    strict: bool = False
+    poll_interval: float = 0.02
+    fault: FaultSpec | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.tasks_per_worker < 1:
+            raise ValueError("tasks_per_worker must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive or None")
+        if self.resume and not self.checkpoint_dir:
+            raise ValueError("resume requires a checkpoint_dir")
+
+    @property
+    def pool_failure_budget(self) -> int:
+        if self.max_pool_failures is not None:
+            return self.max_pool_failures
+        return 2 * self.n_workers + 2
+
+
+def _scheduler_worker(payload: RangePayload, conn) -> None:
+    """Worker loop: recv (task_id, lo, hi), run it, send the outcome.
+
+    Sends ``(task_id, "ok", result)`` or ``(task_id, "error", repr)``
+    back over its own pipe; a hard crash (``os._exit``, signal) sends
+    nothing — the parent sees a dead process / end-of-pipe.  The pipe is
+    private to this worker, and ``Connection.send`` writes synchronously
+    in the calling thread (unlike ``mp.Queue``'s background feeder), so
+    a crash can never orphan a lock another worker needs.
+    """
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            return  # parent closed its end: shut down
+        if item is None:
+            return
+        task_id, lo, hi = item
+        try:
+            result = run_range(payload, lo, hi)
+        except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+            conn.send((task_id, "error", repr(exc)))
+        else:
+            conn.send((task_id, "ok", result))
+
+
+class _Worker:
+    """A supervised worker process with its private duplex pipe."""
+
+    __slots__ = ("proc", "conn", "task_id", "deadline")
+
+    def __init__(self, ctx, payload: RangePayload):
+        self.conn, child = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_scheduler_worker,
+            args=(payload, child),
+            daemon=True,
+        )
+        self.proc.start()
+        child.close()  # parent copy: recv must see EOF when the child dies
+        self.task_id: int | None = None
+        self.deadline: float | None = None
+
+    @property
+    def idle(self) -> bool:
+        return self.task_id is None
+
+    def assign(self, task_id: int, lo: int, hi: int, timeout: float | None) -> None:
+        self.task_id = task_id
+        self.deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        try:
+            self.conn.send((task_id, lo, hi))
+        except (BrokenPipeError, OSError):
+            pass  # worker already dead: the liveness check requeues it
+
+    def release(self) -> None:
+        self.task_id = None
+        self.deadline = None
+
+    def kill(self) -> None:
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=1.0)
+            if self.proc.is_alive():
+                self.proc.kill()
+                self.proc.join(timeout=1.0)
+        self.conn.close()
+
+    def stop(self) -> None:
+        """Graceful shutdown: sentinel, short join, then force."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):  # pipe already torn
+            pass
+        self.proc.join(timeout=1.0)
+        self.kill()
+
+
+class TaskScheduler:
+    """Supervises range tasks across a pool of worker processes."""
+
+    def __init__(
+        self,
+        payload: RangePayload,
+        ranges: list[tuple[int, int]],
+        config: RuntimeConfig,
+        counters: WorkCounters,
+        journal: CheckpointJournal | None = None,
+        completed: dict[int, RangeResult] | None = None,
+    ):
+        self.payload = payload
+        self.tasks = dict(enumerate(ranges))
+        self.config = config
+        self.counters = counters
+        self.journal = journal
+        self.completed: dict[int, RangeResult] = dict(completed or {})
+        self.skipped: list[int] = []
+        self._failures: dict[int, int] = {}
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _complete(self, task_id: int, result: RangeResult) -> None:
+        if task_id in self.completed or task_id in self.skipped:
+            return  # duplicate delivery after a requeue race: idempotent
+        self.completed[task_id] = result
+        if self.journal is not None:
+            lo, hi = self.tasks[task_id]
+            self.journal.record(task_id, lo, hi, result)
+
+    def _run_inline(self, task_id: int, degraded: bool) -> None:
+        """Execute a task in the parent (quarantine or degraded mode)."""
+        lo, hi = self.tasks[task_id]
+        try:
+            result = run_range(self.payload, lo, hi)
+        except Exception as exc:  # noqa: BLE001 - poisoned task
+            self._poison(task_id, exc)
+        else:
+            if degraded:
+                self.counters.n_degraded += 1
+            self._complete(task_id, result)
+
+    def _poison(self, task_id: int, exc: Exception | str) -> None:
+        lo, hi = self.tasks[task_id]
+        message = (
+            f"range task {task_id} (codes [{lo}, {hi})) failed its retries "
+            f"and the in-parent quarantine attempt: {exc}"
+        )
+        if self.config.strict:
+            raise TaskPoisoned(message, task_id=task_id)
+        warnings.warn(
+            message + "; its HSPs are dropped from the result",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        self.skipped.append(task_id)
+        self.counters.n_skipped_tasks += 1
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> dict[int, RangeResult]:
+        """Execute every task; returns {task_id: result}.
+
+        Previously completed tasks (resume) are never re-run.  On return,
+        ``self.skipped`` lists poisoned task ids (empty on healthy runs).
+        """
+        todo = [tid for tid in self.tasks if tid not in self.completed]
+        if not todo:
+            return self.completed
+        method = (
+            resolve_start_method(self.config.start_method)
+            if self.config.n_workers > 1
+            else None
+        )
+        if method is None:
+            # Serial mode (single worker or no usable start method):
+            # still checkpointed, still quarantine-protected.
+            for tid in todo:
+                self._run_with_retries_inline(tid)
+            return self.completed
+        self._run_pool(todo, method)
+        return self.completed
+
+    def _run_with_retries_inline(self, task_id: int) -> None:
+        lo, hi = self.tasks[task_id]
+        for attempt in range(self.config.max_retries + 1):
+            try:
+                result = run_range(self.payload, lo, hi)
+            except Exception as exc:  # noqa: BLE001
+                if attempt == self.config.max_retries:
+                    self._poison(task_id, exc)
+                    return
+                self.counters.n_retries += 1
+                time.sleep(
+                    min(
+                        self.config.backoff_base * 2**attempt,
+                        self.config.backoff_cap,
+                    )
+                )
+            else:
+                self._complete(task_id, result)
+                return
+
+    def _run_pool(self, todo: list[int], method: str) -> None:
+        cfg = self.config
+        ctx = mp.get_context(method)
+        n_procs = min(cfg.n_workers, len(todo))
+        workers: list[_Worker] = [
+            _Worker(ctx, self.payload) for _ in range(n_procs)
+        ]
+        # Ready heap: (eligible_time, seq, task_id).
+        ready: list[tuple[float, int, int]] = [
+            (0.0, next(self._seq), tid) for tid in todo
+        ]
+        heapq.heapify(ready)
+        pool_failures = 0
+        outstanding = set(todo)
+
+        def fail(worker: _Worker, kind: str, detail: str) -> None:
+            nonlocal pool_failures
+            tid = worker.task_id
+            worker.release()
+            if tid is None or tid in self.completed or tid in self.skipped:
+                return
+            if kind in ("crash", "timeout"):
+                pool_failures += 1
+            n = self._failures[tid] = self._failures.get(tid, 0) + 1
+            if n > cfg.max_retries:
+                self.counters.n_quarantined += 1
+                self._run_inline(tid, degraded=True)
+                if tid in self.completed or tid in self.skipped:
+                    outstanding.discard(tid)
+                return
+            self.counters.n_retries += 1
+            delay = min(cfg.backoff_base * 2 ** (n - 1), cfg.backoff_cap)
+            heapq.heappush(
+                ready, (time.monotonic() + delay, next(self._seq), tid)
+            )
+
+        try:
+            while outstanding:
+                now = time.monotonic()
+                # 1. Dispatch eligible tasks to idle workers.
+                for w in workers:
+                    if not w.idle or not ready:
+                        continue
+                    eligible, _, tid = ready[0]
+                    if eligible > now:
+                        continue
+                    heapq.heappop(ready)
+                    if tid in self.completed or tid in self.skipped:
+                        continue
+                    lo, hi = self.tasks[tid]
+                    w.assign(tid, lo, hi, cfg.task_timeout)
+                # 2. Drain results: wait on every worker's pipe at once.
+                # A torn message (worker killed mid-send) raises on *its*
+                # pipe only; the liveness check below requeues its task.
+                msgs: list[tuple[_Worker, tuple]] = []
+                for conn in _conn_wait(
+                    [w.conn for w in workers], timeout=cfg.poll_interval
+                ):
+                    w = next(x for x in workers if x.conn is conn)
+                    try:
+                        msgs.append((w, conn.recv()))
+                    except Exception:  # noqa: BLE001 - EOF / torn pickle
+                        pass  # dead worker's pipe: the health check requeues
+                for sender, (tid, status, val) in msgs:
+                    owner = (
+                        sender
+                        if sender.task_id == tid
+                        else next(
+                            (w for w in workers if w.task_id == tid), None
+                        )
+                    )
+                    if owner is not None:
+                        owner.release()
+                    if tid in self.completed or tid in self.skipped:
+                        continue  # stale duplicate: tasks are idempotent
+                    if status == "ok":
+                        self._complete(tid, val)
+                        outstanding.discard(tid)
+                    elif owner is not None:
+                        owner.task_id = tid  # re-attach for fail() context
+                        fail(owner, "error", str(val))
+                    # an "error" with no owner means the task was already
+                    # requeued by a crash/timeout check: nothing to do
+                # 3. Health checks: dead and overdue workers.
+                for i, w in enumerate(workers):
+                    if w.idle:
+                        if not w.proc.is_alive():
+                            # Idle worker died (e.g. fault between tasks):
+                            # just replace it.
+                            w.kill()
+                            workers[i] = _Worker(ctx, self.payload)
+                        continue
+                    now = time.monotonic()
+                    if not w.proc.is_alive():
+                        self.counters.n_crashes += 1
+                        tid = w.task_id
+                        w.kill()
+                        workers[i] = _Worker(ctx, self.payload)
+                        w.task_id = tid
+                        fail(w, "crash", "worker process died")
+                    elif w.deadline is not None and now > w.deadline:
+                        self.counters.n_timeouts += 1
+                        tid = w.task_id
+                        w.kill()
+                        workers[i] = _Worker(ctx, self.payload)
+                        w.task_id = tid
+                        fail(w, "timeout", "task exceeded its deadline")
+                # 4. Pool health: degrade to in-parent execution.
+                if pool_failures > cfg.pool_failure_budget and outstanding:
+                    if cfg.strict:
+                        raise PoolUnhealthy(
+                            f"{pool_failures} worker failures exceed the "
+                            f"pool budget of {cfg.pool_failure_budget}"
+                        )
+                    warnings.warn(
+                        f"worker pool unhealthy ({pool_failures} failures > "
+                        f"budget {cfg.pool_failure_budget}); degrading to "
+                        "in-parent serial execution of "
+                        f"{len(outstanding)} remaining task(s)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    for w in workers:
+                        w.kill()
+                    workers = []
+                    for tid in sorted(outstanding):
+                        if tid in self.completed or tid in self.skipped:
+                            continue
+                        self._run_inline(tid, degraded=True)
+                    outstanding.clear()
+                    break
+                outstanding -= set(self.completed) | set(self.skipped)
+        finally:
+            for w in workers:
+                w.stop()
+
+
+# --------------------------------------------------------------------- #
+# End-to-end resilient comparison
+# --------------------------------------------------------------------- #
+
+
+def _run_fingerprint(payload: RangePayload, n_tasks: int) -> dict:
+    """Identity of a run for checkpoint-resume validation.
+
+    CRC-32 over the encoded banks and the common-code list, plus the
+    parameter repr and the task split: resume refuses to mix journals
+    across different inputs, parameters, or granularities.
+    """
+    return {
+        "algo": "oris-step2",
+        "n_codes": payload.n_codes,
+        "n_tasks": n_tasks,
+        "codes_crc": zlib.crc32(payload.codes.tobytes()),
+        "seq1_crc": zlib.crc32(payload.seq1.tobytes()),
+        "seq2_crc": zlib.crc32(payload.seq2.tobytes()),
+        "threshold": int(payload.threshold),
+        "params": repr(payload.params),
+    }
+
+
+def compare_resilient(
+    bank1: Bank,
+    bank2: Bank,
+    params: OrisParams | None = None,
+    config: RuntimeConfig | None = None,
+) -> ComparisonResult:
+    """ORIS comparison with fault-tolerant, checkpointed parallel step 2.
+
+    Identical output to :class:`~repro.core.engine.OrisEngine` on healthy
+    runs (asserted by the test suite); on unhealthy runs it retries,
+    requeues, degrades, and resumes instead of aborting.  Steps 1, 3 and
+    4 run in the parent.
+    """
+    params = params or OrisParams()
+    config = config or RuntimeConfig()
+    if params.strand != "plus":
+        raise ValueError(
+            "compare_resilient runs a single strand; call it per strand"
+        )
+    if not params.ordered_cutoff:
+        raise ValueError(
+            "the resilient runtime requires the ordered-seed cutoff (it is "
+            "what makes range tasks idempotent)"
+        )
+    engine = OrisEngine(params)
+
+    from ..align.evalue import karlin_params
+
+    timings = StepTimings()
+    counters = WorkCounters()
+    stats = karlin_params(params.scoring)
+
+    t0 = time.perf_counter()
+    index1, index2 = engine._build_indexes(bank1, bank2)
+    common = index1.common_codes(index2)
+    threshold = engine._resolve_hsp_min_score(bank1, bank2, stats)
+    timings.index = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    payload = build_range_payload(
+        index1, index2, common, params, threshold, fault=config.fault
+    )
+    ranges = split_code_ranges(
+        common.n_codes, config.n_workers * config.tasks_per_worker
+    )
+    journal: CheckpointJournal | None = None
+    completed: dict[int, RangeResult] = {}
+    if config.checkpoint_dir:
+        journal = CheckpointJournal(config.checkpoint_dir)
+        fingerprint = _run_fingerprint(payload, len(ranges))
+        if config.resume:
+            if journal.exists:
+                completed = journal.load(fingerprint)
+                counters.n_resumed = len(completed)
+                journal.open_for_append()
+            else:
+                warnings.warn(
+                    f"--resume requested but no journal in "
+                    f"{config.checkpoint_dir}; starting fresh",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                journal.create(fingerprint)
+        else:
+            journal.create(fingerprint)
+    try:
+        scheduler = TaskScheduler(
+            payload, ranges, config, counters, journal, completed
+        )
+        results = scheduler.run()
+    finally:
+        if journal is not None:
+            journal.close()
+    table = merge_range_results(results, counters)
+    timings.ungapped = time.perf_counter() - t0
+
+    return finish_comparison(
+        engine, bank1, bank2, table, counters, timings, stats
+    )

@@ -91,3 +91,59 @@ class TestRun:
         out = tmp_path / "sc.m8"
         rc = run([*fasta_pair, "--match", "2", "--mismatch", "5", "-o", str(out)])
         assert rc == 0
+
+
+class TestResilientRuntime:
+    """The --workers / --checkpoint / --resume surface."""
+
+    def test_workers_matches_serial(self, fasta_pair, tmp_path):
+        serial = tmp_path / "serial.m8"
+        par = tmp_path / "par.m8"
+        assert run([*fasta_pair, "-o", str(serial)]) == 0
+        assert run([*fasta_pair, "--workers", "2", "-o", str(par)]) == 0
+        assert par.read_text() == serial.read_text()
+
+    def test_checkpoint_then_resume(self, fasta_pair, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        first = tmp_path / "first.m8"
+        second = tmp_path / "second.m8"
+        rc = run(
+            [*fasta_pair, "--workers", "2", "--checkpoint", str(ckpt),
+             "-o", str(first)]
+        )
+        assert rc == 0
+        assert (ckpt / "journal.jsonl").is_file()
+        rc = run(
+            [*fasta_pair, "--workers", "2", "--checkpoint", str(ckpt),
+             "--resume", "-o", str(second)]
+        )
+        assert rc == 0
+        assert second.read_text() == first.read_text()
+
+    def test_runtime_stats_line(self, fasta_pair, tmp_path, capsys):
+        rc = run([*fasta_pair, "--workers", "2", "--stats",
+                  "-o", str(tmp_path / "x.m8")])
+        assert rc == 0
+        assert "# runtime:" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint(self, fasta_pair, capsys):
+        rc = run([*fasta_pair, "--resume"])
+        assert rc == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_runtime_requires_oris(self, fasta_pair, capsys):
+        rc = run([*fasta_pair, "--engine", "blastn", "--workers", "2"])
+        assert rc == 2
+        assert "oris" in capsys.readouterr().err
+
+    def test_runtime_rejects_both_strands(self, fasta_pair, capsys):
+        rc = run([*fasta_pair, "--strand", "both", "--workers", "2"])
+        assert rc == 2
+        assert "single strand" in capsys.readouterr().err
+
+    def test_task_timeout_and_retries_flags(self, fasta_pair, tmp_path):
+        out = tmp_path / "t.m8"
+        rc = run([*fasta_pair, "--workers", "2", "--task-timeout", "60",
+                  "--max-retries", "1", "-o", str(out)])
+        assert rc == 0
+        assert len(read_m8(out)) >= 1

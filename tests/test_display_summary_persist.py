@@ -161,3 +161,74 @@ class TestIndexPersistence:
         np.savez(path, **data)
         with pytest.raises(ValueError, match="version"):
             load_index(path)
+
+
+class TestIndexArchiveVerification:
+    """load_index must reject damaged archives, never deserialise garbage."""
+
+    def _saved(self, tmp_path, rng):
+        bank = Bank.from_strings(
+            [("a", random_dna(rng, 400)), ("b", random_dna(rng, 250))]
+        )
+        idx = CsrSeedIndex(bank, 8)
+        path = tmp_path / "bank.idx.npz"
+        save_index(path, idx)
+        return path
+
+    def test_truncated_archive(self, tmp_path, rng):
+        from repro.runtime.errors import IndexCorrupt
+
+        path = self._saved(tmp_path, rng)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(IndexCorrupt):
+            load_index(path)
+
+    def test_bit_flipped_archive(self, tmp_path, rng):
+        from repro.runtime.errors import IndexCorrupt
+
+        path = self._saved(tmp_path, rng)
+        blob = bytearray(path.read_bytes())
+        # Flip bytes across the middle third: whichever member they land
+        # in, either the zip layer or the content CRC must catch it.
+        for frac in (3, 7):
+            blob[len(blob) * frac // 16] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(IndexCorrupt):
+            load_index(path)
+
+    def test_checksum_mismatch_after_array_tamper(self, tmp_path, rng):
+        import json
+
+        from repro.runtime.errors import IndexCorrupt
+
+        path = self._saved(tmp_path, rng)
+        data = dict(np.load(path))
+        pos = data["positions"].copy()
+        pos[0] += 1  # one flipped position, re-zipped cleanly
+        data["positions"] = pos
+        meta = json.loads(bytes(data["meta"]).decode())
+        data["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez(path, **data)
+        with pytest.raises(IndexCorrupt, match="checksum"):
+            load_index(path)
+
+    def test_missing_array_member(self, tmp_path, rng):
+        from repro.runtime.errors import IndexCorrupt
+
+        path = self._saved(tmp_path, rng)
+        data = dict(np.load(path))
+        del data["positions"]
+        np.savez(path, **data)
+        with pytest.raises(IndexCorrupt, match="missing"):
+            load_index(path)
+
+    def test_index_corrupt_is_a_value_error(self):
+        from repro.runtime.errors import IndexCorrupt, OrisRuntimeError
+
+        assert issubclass(IndexCorrupt, ValueError)
+        assert issubclass(IndexCorrupt, OrisRuntimeError)
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_index(tmp_path / "nope.npz")

@@ -1,10 +1,18 @@
 """Tests for the parallel step-2 decomposition (repro.core.parallel)."""
 
+import pickle
+
 import numpy as np
 import pytest
 
 from repro.core import OrisEngine, OrisParams
-from repro.core.parallel import compare_parallel, split_code_ranges
+from repro.core.parallel import (
+    FaultSpec,
+    build_range_payload,
+    compare_parallel,
+    run_range,
+    split_code_ranges,
+)
 
 
 class TestSplitCodeRanges:
@@ -26,9 +34,97 @@ class TestSplitCodeRanges:
     def test_zero_codes(self):
         assert split_code_ranges(0, 4) == []
 
+    def test_one_code_many_workers(self):
+        assert split_code_ranges(1, 64) == [(0, 1)]
+
+    def test_workers_equal_codes(self):
+        ranges = split_code_ranges(5, 5)
+        assert ranges == [(i, i + 1) for i in range(5)]
+
     def test_invalid_workers(self):
         with pytest.raises(ValueError):
             split_code_ranges(10, 0)
+
+
+class TestRangePayload:
+    """The compact worker payload: picklable, and its tasks are pure."""
+
+    def _payload(self, est_pair, params=None):
+        from repro.align.evalue import karlin_params
+
+        params = params or OrisParams()
+        engine = OrisEngine(params)
+        i1, i2 = engine._build_indexes(*est_pair)
+        common = i1.common_codes(i2)
+        threshold = engine._resolve_hsp_min_score(
+            *est_pair, karlin_params(params.scoring)
+        )
+        return build_range_payload(i1, i2, common, params, threshold)
+
+    def test_payload_survives_pickling(self, est_pair):
+        payload = self._payload(est_pair)
+        clone = pickle.loads(pickle.dumps(payload))
+        n = payload.n_codes
+        a = run_range(payload, 0, n // 2)
+        b = run_range(clone, 0, n // 2)
+        assert np.array_equal(a.start1, b.start1)
+        assert np.array_equal(a.score, b.score)
+        assert (a.n_pairs, a.n_cut, a.steps) == (b.n_pairs, b.n_cut, b.steps)
+
+    def test_run_range_is_idempotent(self, est_pair):
+        payload = self._payload(est_pair)
+        n = payload.n_codes
+        first = run_range(payload, n // 4, n // 2)
+        second = run_range(payload, n // 4, n // 2)
+        assert np.array_equal(first.start1, second.start1)
+        assert np.array_equal(first.end1, second.end1)
+
+    def test_ranges_partition_like_full_run(self, est_pair):
+        payload = self._payload(est_pair)
+        n = payload.n_codes
+        whole = run_range(payload, 0, n)
+        parts = [run_range(payload, lo, hi) for lo, hi in split_code_ranges(n, 4)]
+        assert np.array_equal(
+            whole.start1, np.concatenate([p.start1 for p in parts])
+        )
+        assert whole.n_pairs == sum(p.n_pairs for p in parts)
+
+    def test_empty_range(self, est_pair):
+        payload = self._payload(est_pair)
+        res = run_range(payload, 3, 3)
+        assert res.n_hsps == 0
+        assert res.n_pairs == 0
+
+
+class TestFaultSpec:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            FaultSpec(lo=0, mode="explode", marker="m")
+
+    def test_finite_fault_needs_marker(self):
+        with pytest.raises(ValueError, match="marker"):
+            FaultSpec(lo=0, mode="raise", times=1)
+
+    def test_fires_only_n_times(self, est_pair, tmp_path):
+        marker = tmp_path / "m"
+        fault = FaultSpec(lo=0, mode="raise", times=2, marker=str(marker))
+        params = OrisParams()
+        engine = OrisEngine(params)
+        i1, i2 = engine._build_indexes(*est_pair)
+        common = i1.common_codes(i2)
+        from repro.align.evalue import karlin_params
+
+        threshold = engine._resolve_hsp_min_score(
+            *est_pair, karlin_params(params.scoring)
+        )
+        payload = build_range_payload(
+            i1, i2, common, params, threshold, fault=fault
+        )
+        for _ in range(2):
+            with pytest.raises(RuntimeError, match="injected"):
+                run_range(payload, 0, 1)
+        run_range(payload, 0, 1)  # third attempt: fault exhausted
+        assert marker.stat().st_size == 2
 
 
 class TestCompareParallel:
@@ -54,3 +150,34 @@ class TestCompareParallel:
     def test_both_strand_rejected(self, est_pair):
         with pytest.raises(ValueError):
             compare_parallel(*est_pair, OrisParams(strand="both"), n_workers=2)
+
+    def test_unordered_cutoff_rejected(self, est_pair):
+        with pytest.raises(ValueError, match="ordered-seed cutoff"):
+            compare_parallel(
+                *est_pair, OrisParams(ordered_cutoff=False), n_workers=2
+            )
+
+    def test_spawn_start_method_matches_sequential(self, est_pair):
+        """No silent serial fallback off-fork: the pickled worker payload
+        makes the spawn start method produce the exact same records."""
+        seq = OrisEngine(OrisParams()).compare(*est_pair)
+        with pytest.warns(RuntimeWarning, match="spawn"):
+            par = compare_parallel(
+                *est_pair, OrisParams(), n_workers=2, start_method="spawn"
+            )
+        assert [r.to_line() for r in par.records] == [
+            r.to_line() for r in seq.records
+        ]
+
+    def test_unavailable_start_method_warns_and_runs_serially(self, est_pair):
+        seq = OrisEngine(OrisParams()).compare(*est_pair)
+        with pytest.warns(RuntimeWarning, match="unavailable"):
+            par = compare_parallel(
+                *est_pair,
+                OrisParams(),
+                n_workers=2,
+                start_method="no-such-method",
+            )
+        assert [r.to_line() for r in par.records] == [
+            r.to_line() for r in seq.records
+        ]

@@ -1,0 +1,293 @@
+"""Fault-injection tests for the resilient runtime (repro.runtime).
+
+The acceptance bar: with a worker killed mid-run the comparison completes
+with HSP output identical to the serial engine's, and a run resumed from
+its checkpoint journal produces the same result while skipping all
+previously completed ranges.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import OrisEngine, OrisParams
+from repro.core.parallel import FaultSpec, split_code_ranges
+from repro.runtime import CheckpointCorrupt, TaskPoisoned
+from repro.runtime.scheduler import RuntimeConfig, compare_resilient
+
+N_WORKERS = 2
+TASKS_PER_WORKER = 3
+
+
+@pytest.fixture(scope="module")
+def serial_lines(est_pair):
+    res = OrisEngine(OrisParams()).compare(*est_pair)
+    return [r.to_line() for r in res.records]
+
+
+@pytest.fixture(scope="module")
+def mid_range_lo(est_pair):
+    """The start of a middle range task, for targeted fault injection."""
+    engine = OrisEngine(OrisParams())
+    i1, i2 = engine._build_indexes(*est_pair)
+    common = i1.common_codes(i2)
+    ranges = split_code_ranges(common.n_codes, N_WORKERS * TASKS_PER_WORKER)
+    assert len(ranges) == N_WORKERS * TASKS_PER_WORKER
+    return ranges[len(ranges) // 2][0]
+
+
+def lines(result) -> list[str]:
+    return [r.to_line() for r in result.records]
+
+
+class TestHealthyRuns:
+    def test_identical_to_serial(self, est_pair, serial_lines):
+        res = compare_resilient(
+            *est_pair,
+            OrisParams(),
+            RuntimeConfig(n_workers=N_WORKERS, tasks_per_worker=TASKS_PER_WORKER),
+        )
+        assert lines(res) == serial_lines
+        c = res.counters
+        assert (c.n_retries, c.n_crashes, c.n_timeouts) == (0, 0, 0)
+        assert (c.n_quarantined, c.n_skipped_tasks, c.n_resumed) == (0, 0, 0)
+
+    def test_single_worker_serial_mode(self, est_pair, serial_lines):
+        res = compare_resilient(
+            *est_pair, OrisParams(), RuntimeConfig(n_workers=1)
+        )
+        assert lines(res) == serial_lines
+
+    def test_both_strand_rejected(self, est_pair):
+        with pytest.raises(ValueError):
+            compare_resilient(*est_pair, OrisParams(strand="both"))
+
+    def test_unordered_cutoff_rejected(self, est_pair):
+        with pytest.raises(ValueError, match="ordered-seed cutoff"):
+            compare_resilient(*est_pair, OrisParams(ordered_cutoff=False))
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            RuntimeConfig(resume=True)
+
+
+class TestFaultRecovery:
+    """Crash/raise/hang a worker once; the run must still be exact."""
+
+    def test_worker_hard_crash_recovers(
+        self, est_pair, serial_lines, mid_range_lo, tmp_path
+    ):
+        fault = FaultSpec(
+            lo=mid_range_lo, mode="exit", times=1, marker=str(tmp_path / "m")
+        )
+        res = compare_resilient(
+            *est_pair,
+            OrisParams(),
+            RuntimeConfig(
+                n_workers=N_WORKERS,
+                tasks_per_worker=TASKS_PER_WORKER,
+                fault=fault,
+            ),
+        )
+        assert lines(res) == serial_lines
+        assert res.counters.n_crashes >= 1
+        assert res.counters.n_retries >= 1
+
+    def test_worker_exception_recovers(
+        self, est_pair, serial_lines, mid_range_lo, tmp_path
+    ):
+        fault = FaultSpec(
+            lo=mid_range_lo, mode="raise", times=1, marker=str(tmp_path / "m")
+        )
+        res = compare_resilient(
+            *est_pair,
+            OrisParams(),
+            RuntimeConfig(
+                n_workers=N_WORKERS,
+                tasks_per_worker=TASKS_PER_WORKER,
+                fault=fault,
+            ),
+        )
+        assert lines(res) == serial_lines
+        assert res.counters.n_retries >= 1
+        assert res.counters.n_crashes == 0
+
+    def test_hung_worker_times_out_and_recovers(
+        self, est_pair, serial_lines, mid_range_lo, tmp_path
+    ):
+        fault = FaultSpec(
+            lo=mid_range_lo,
+            mode="hang",
+            times=1,
+            marker=str(tmp_path / "m"),
+            hang_seconds=60.0,
+        )
+        res = compare_resilient(
+            *est_pair,
+            OrisParams(),
+            RuntimeConfig(
+                n_workers=N_WORKERS,
+                tasks_per_worker=TASKS_PER_WORKER,
+                fault=fault,
+                task_timeout=1.0,
+            ),
+        )
+        assert lines(res) == serial_lines
+        assert res.counters.n_timeouts >= 1
+
+    def test_pool_unhealthy_degrades_to_serial(
+        self, est_pair, serial_lines, mid_range_lo, tmp_path
+    ):
+        fault = FaultSpec(
+            lo=mid_range_lo, mode="exit", times=1, marker=str(tmp_path / "m")
+        )
+        with pytest.warns(RuntimeWarning, match="unhealthy"):
+            res = compare_resilient(
+                *est_pair,
+                OrisParams(),
+                RuntimeConfig(
+                    n_workers=N_WORKERS,
+                    tasks_per_worker=TASKS_PER_WORKER,
+                    fault=fault,
+                    max_pool_failures=0,
+                ),
+            )
+        assert lines(res) == serial_lines
+        assert res.counters.n_crashes == 1
+        assert res.counters.n_degraded >= 1
+
+    def test_poisoned_task_is_quarantined_not_fatal(
+        self, est_pair, serial_lines, mid_range_lo, tmp_path
+    ):
+        # The fault never stops firing: retries and the in-parent
+        # quarantine attempt all fail; the run degrades instead of dying.
+        fault = FaultSpec(
+            lo=mid_range_lo, mode="raise", times=100, marker=str(tmp_path / "m")
+        )
+        with pytest.warns(RuntimeWarning, match="dropped"):
+            res = compare_resilient(
+                *est_pair,
+                OrisParams(),
+                RuntimeConfig(
+                    n_workers=N_WORKERS,
+                    tasks_per_worker=TASKS_PER_WORKER,
+                    fault=fault,
+                    max_retries=1,
+                    backoff_base=0.01,
+                ),
+            )
+        assert res.counters.n_quarantined == 1
+        assert res.counters.n_skipped_tasks == 1
+        assert len(res.records) <= len(serial_lines)
+
+    def test_strict_mode_raises_on_poison(
+        self, est_pair, mid_range_lo, tmp_path
+    ):
+        fault = FaultSpec(
+            lo=mid_range_lo, mode="raise", times=100, marker=str(tmp_path / "m")
+        )
+        with pytest.raises(TaskPoisoned):
+            compare_resilient(
+                *est_pair,
+                OrisParams(),
+                RuntimeConfig(
+                    n_workers=1,  # serial mode exercises the inline path
+                    fault=fault,
+                    max_retries=1,
+                    backoff_base=0.01,
+                    strict=True,
+                ),
+            )
+
+
+class TestCheckpointResume:
+    def _run(self, est_pair, ckpt, resume=False, n_workers=1):
+        return compare_resilient(
+            *est_pair,
+            OrisParams(),
+            RuntimeConfig(
+                n_workers=n_workers,
+                tasks_per_worker=TASKS_PER_WORKER,
+                checkpoint_dir=str(ckpt),
+                resume=resume,
+            ),
+        )
+
+    def test_full_resume_skips_everything(
+        self, est_pair, serial_lines, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        first = self._run(est_pair, ckpt, n_workers=N_WORKERS)
+        assert lines(first) == serial_lines
+        again = self._run(est_pair, ckpt, resume=True, n_workers=N_WORKERS)
+        assert lines(again) == serial_lines
+        assert again.counters.n_resumed == N_WORKERS * TASKS_PER_WORKER
+
+    def test_partial_resume_completes_the_rest(
+        self, est_pair, serial_lines, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        self._run(est_pair, ckpt)  # n_workers=1 -> TASKS_PER_WORKER tasks
+        journal = ckpt / "journal.jsonl"
+        kept = journal.read_text().splitlines()[:2]  # header + 1 task
+        journal.write_text("\n".join(kept) + "\n")
+        res = self._run(est_pair, ckpt, resume=True)
+        assert lines(res) == serial_lines
+        assert res.counters.n_resumed == 1
+        # The journal was re-completed: every task is recorded again.
+        n_lines = len(journal.read_text().splitlines())
+        assert n_lines == 1 + TASKS_PER_WORKER
+
+    def test_resume_after_simulated_kill_mid_append(
+        self, est_pair, serial_lines, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        self._run(est_pair, ckpt)
+        journal = ckpt / "journal.jsonl"
+        rows = journal.read_text().splitlines()
+        torn = "\n".join(rows[:3]) + "\n" + rows[3][: len(rows[3]) // 2]
+        journal.write_text(torn)  # SIGKILL mid-append: half a JSON line
+        res = self._run(est_pair, ckpt, resume=True)
+        assert lines(res) == serial_lines
+        assert res.counters.n_resumed == 2
+
+    def test_resume_rejects_foreign_fingerprint(self, est_pair, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        self._run(est_pair, ckpt)
+        with pytest.raises(CheckpointCorrupt, match="fingerprint"):
+            compare_resilient(
+                *est_pair,
+                OrisParams(w=10),  # different parameters, same journal
+                RuntimeConfig(
+                    n_workers=1,
+                    tasks_per_worker=TASKS_PER_WORKER,
+                    checkpoint_dir=str(ckpt),
+                    resume=True,
+                ),
+            )
+
+    def test_corrupt_chunk_is_recomputed(
+        self, est_pair, serial_lines, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        self._run(est_pair, ckpt)
+        journal = ckpt / "journal.jsonl"
+        first_task = json.loads(journal.read_text().splitlines()[1])
+        chunk = ckpt / first_task["file"]
+        blob = bytearray(chunk.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        chunk.write_bytes(bytes(blob))
+        with pytest.warns(RuntimeWarning, match="checksum"):
+            res = self._run(est_pair, ckpt, resume=True)
+        assert lines(res) == serial_lines
+        assert res.counters.n_resumed == TASKS_PER_WORKER - 1
+
+    def test_resume_without_journal_starts_fresh(
+        self, est_pair, serial_lines, tmp_path
+    ):
+        with pytest.warns(RuntimeWarning, match="starting fresh"):
+            res = self._run(est_pair, tmp_path / "empty", resume=True)
+        assert lines(res) == serial_lines
+        assert res.counters.n_resumed == 0
