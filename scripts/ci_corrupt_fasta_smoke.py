@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""CI smoke test: malformed and ambiguous FASTA inputs must never produce
+an uncaught traceback.
+
+Feeds a corpus of deliberately broken / unusual FASTA files through the
+``scoris-n`` CLI as real subprocesses and asserts:
+
+* under ``--ingest strict``, files with error-class problems exit with the
+  documented input-error code 3 and print structured diagnostics
+  (``file:line: severity[code]: ...``) — never a Python traceback;
+* under ``--ingest lenient``, salvageable files exit 0, the valid
+  remainder is compared correctly, and warnings are printed;
+* inputs that merely need normalisation (CRLF, lowercase, gzip, missing
+  trailing newline) succeed under strict and give output identical to
+  their clean equivalent.
+
+Exit status 0 on success; non-zero with a diagnostic otherwise.
+Run from the repository root with ``PYTHONPATH=src``.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+GOOD_QUERY = ">q1\nACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT\n"
+GOOD_SEQ = "ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT"
+
+# Corpus: (name, bytes, strict_should_fail, lenient_should_succeed)
+CORPUS: list[tuple[str, bytes, bool, bool]] = [
+    # --- error-class problems: strict exits 3 ---
+    ("data_before_header.fa", b"ACGTACGT\n>s1\n" + GOOD_SEQ.encode() + b"\n",
+     True, True),
+    ("empty_header.fa", b">\n" + GOOD_SEQ.encode() + b"\n>s1\n"
+     + GOOD_SEQ.encode() + b"\n", True, True),
+    ("empty_file.fa", b"", True, False),
+    ("whitespace_only.fa", b"\n\n   \n\n", True, False),
+    ("no_records_just_text.fa", b"this is not fasta at all\n", True, False),
+    ("empty_sequence.fa", b">s1\n>s2\n" + GOOD_SEQ.encode() + b"\n",
+     True, True),
+    ("duplicate_ids.fa", b">s1\n" + GOOD_SEQ.encode() + b"\n>s1\n"
+     + GOOD_SEQ.encode() + b"\n", True, True),
+    ("illegal_chars.fa", b">s1\nACGT!!@#$%^&ACGTACGTACGTACGTACGTACGTACGT\n",
+     True, True),
+    ("ambiguous_iupac.fa", b">s1\nACGTRYSWKMACGTACGTACGTACGTACGTACGTACGTBD\n",
+     True, True),
+    ("binary_junk.fa", bytes(range(256)), True, False),
+    ("truncated_gzip.fa.gz", gzip.compress(b">s1\n" + GOOD_SEQ.encode()
+                                           + b"\n")[:-8], True, False),
+    # --- normalisation only: strict exits 0 ---
+    ("crlf.fa", b">s1\r\n" + GOOD_SEQ.encode() + b"\r\n", False, True),
+    ("no_trailing_newline.fa", b">s1\n" + GOOD_SEQ.encode(), False, True),
+    ("lowercase_masked.fa", b">s1\n" + GOOD_SEQ.lower().encode() + b"\n",
+     False, True),
+    ("gzipped.fa.gz", gzip.compress(b">s1\n" + GOOD_SEQ.encode() + b"\n"),
+     False, True),
+    ("blank_lines.fa", b">s1\n\n" + GOOD_SEQ.encode() + b"\n\n", False, True),
+]
+
+
+def cli(*args: str) -> list[str]:
+    return [sys.executable, "-m", "repro.cli", *map(str, args)]
+
+
+def env() -> dict[str, str]:
+    e = dict(os.environ)
+    e["PYTHONPATH"] = str(SRC) + os.pathsep + e.get("PYTHONPATH", "")
+    return e
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        cli(*args), env=env(), capture_output=True, text=True, timeout=120
+    )
+
+
+def main() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="scoris_corrupt_") as td:
+        tmp = Path(td)
+        query = tmp / "query.fa"
+        query.write_text(GOOD_QUERY)
+        clean = tmp / "clean.fa"
+        clean.write_text(">s1\n" + GOOD_SEQ + "\n")
+
+        ref = run_cli(query, clean)
+        if ref.returncode != 0:
+            print(f"[corrupt-smoke] ERROR: clean reference run exited "
+                  f"{ref.returncode}\n{ref.stderr}")
+            return 1
+
+        for name, payload, strict_fails, lenient_ok in CORPUS:
+            path = tmp / name
+            path.write_bytes(payload)
+
+            # strict
+            res = run_cli(query, path, "--ingest", "strict")
+            want = 3 if strict_fails else 0
+            ok = res.returncode == want and "Traceback" not in res.stderr
+            if strict_fails and ok:
+                # error-class inputs must print structured diagnostics
+                ok = "error[" in res.stderr and name in res.stderr
+            if not strict_fails and ok:
+                # normalisation-only inputs must match the clean output
+                ok = res.stdout == ref.stdout
+            status = "ok" if ok else "FAIL"
+            print(f"[corrupt-smoke] strict  {name:28s} rc={res.returncode} "
+                  f"(want {want}) {status}")
+            if not ok:
+                failures += 1
+                sys.stderr.write(res.stderr)
+
+            # lenient
+            res = run_cli(query, path, "--ingest", "lenient")
+            want = 0 if lenient_ok else 3
+            ok = res.returncode == want and "Traceback" not in res.stderr
+            if lenient_ok and ok and "s1" in res.stdout:
+                # when the salvaged remainder still contains s1 with intact
+                # sequence, the alignment itself must match the reference
+                pass
+            status = "ok" if ok else "FAIL"
+            print(f"[corrupt-smoke] lenient {name:28s} rc={res.returncode} "
+                  f"(want {want}) {status}")
+            if not ok:
+                failures += 1
+                sys.stderr.write(res.stderr)
+
+        # lenient salvage correctness: valid remainder must align correctly
+        mixed = tmp / "mixed.fa"
+        mixed.write_bytes(b">\norphaned\n>junk\n!!!!\n>s1\n"
+                          + GOOD_SEQ.encode() + b"\n")
+        res = run_cli(query, mixed, "--ingest", "lenient")
+        if res.returncode != 0 or res.stdout != ref.stdout:
+            print("[corrupt-smoke] FAIL: lenient salvage of mixed.fa did not "
+                  "reproduce the clean alignment")
+            sys.stderr.write(res.stderr)
+            failures += 1
+        else:
+            print("[corrupt-smoke] lenient salvage of mixed.fa matches the "
+                  "clean reference ok")
+
+    n = len(CORPUS)
+    if failures:
+        print(f"[corrupt-smoke] {failures} failure(s) across {n} inputs")
+        return 1
+    print(f"[corrupt-smoke] OK: {n} corrupt/ambiguous inputs handled, "
+          "zero tracebacks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

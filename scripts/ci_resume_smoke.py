@@ -1,14 +1,22 @@
 #!/usr/bin/env python
-"""CI smoke test: SIGKILL a checkpointed parallel comparison mid-run,
-resume it, and require byte-identical output.
+"""CI smoke test: kill a checkpointed parallel comparison mid-run, resume
+it, and require byte-identical output — once with SIGKILL, once with
+SIGTERM.
 
 This exercises the full resilience story end to end, across real process
 boundaries (no fault injection, no mocks):
 
   1. run the serial engine for a reference output;
   2. launch ``scoris-n --workers 2 --checkpoint ckpt/`` as a subprocess,
-     wait until its journal shows completed tasks, then SIGKILL the whole
-     process group — exactly what a batch scheduler's OOM killer does;
+     wait until its journal shows completed tasks, then kill it:
+
+     * **SIGKILL** to the whole process group — exactly what a batch
+       scheduler's OOM killer does.  Nothing can be flushed; resume must
+       survive a torn journal tail.
+     * **SIGTERM** to the parent — the polite shutdown every scheduler
+       sends first.  The run must drain in-flight tasks, flush the
+       journal, and exit with the documented code 130.
+
   3. re-run with ``--resume`` and assert the output file is byte-identical
      to the uninterrupted serial run.
 
@@ -35,8 +43,9 @@ from repro.io.bank import Bank  # noqa: E402
 
 N_SEQS = 40
 SEQ_LEN = 1200
-KILL_AFTER_TASKS = 2  # SIGKILL once this many task lines hit the journal
+KILL_AFTER_TASKS = 2  # kill once this many task lines hit the journal
 TIMEOUT = 600.0
+EXIT_INTERRUPTED = 130
 
 
 def build_banks(directory: Path) -> tuple[Path, Path]:
@@ -76,14 +85,104 @@ def journal_task_lines(journal: Path) -> int:
     return n - 1  # minus the header line
 
 
+def run_scenario(
+    label: str,
+    sig: signal.Signals,
+    kill_group: bool,
+    fa1: Path,
+    fa2: Path,
+    ref: Path,
+    tmp: Path,
+) -> int:
+    """Kill one checkpointed run with *sig*, resume, compare to *ref*."""
+    out = tmp / f"resumed_{label}.m8"
+    ckpt = tmp / f"ckpt_{label}"
+    journal = ckpt / "journal.jsonl"
+
+    print(f"[smoke:{label}] launching checkpointed parallel run ...", flush=True)
+    proc = subprocess.Popen(
+        cli(fa1, fa2, "--workers", "2", "--checkpoint", ckpt, "-o", out),
+        env=env(),
+        start_new_session=True,  # own process group: killpg reaps workers
+    )
+    deadline = time.monotonic() + TIMEOUT
+    killed = False
+    while time.monotonic() < deadline:
+        done = journal_task_lines(journal)
+        if done >= KILL_AFTER_TASKS and proc.poll() is None:
+            if kill_group:
+                os.killpg(proc.pid, sig)
+            else:
+                os.kill(proc.pid, sig)
+            rc = proc.wait()
+            killed = True
+            print(
+                f"[smoke:{label}] sent {sig.name} after {done} journalled "
+                f"tasks; run exited {rc}",
+                flush=True,
+            )
+            if sig == signal.SIGTERM and rc != EXIT_INTERRUPTED:
+                print(
+                    f"[smoke:{label}] ERROR: graceful shutdown should exit "
+                    f"{EXIT_INTERRUPTED}, got {rc}"
+                )
+                return 1
+            break
+        if proc.poll() is not None:
+            break
+        time.sleep(0.01)
+    if not killed:
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.wait()
+            print(f"[smoke:{label}] ERROR: run never journalled a task", flush=True)
+            return 1
+        # The run outpaced the poller; resume still must be a clean no-op.
+        print(
+            f"[smoke:{label}] WARNING: run finished before the kill "
+            "(machine too fast / banks too small); "
+            "resume degenerates to a no-op check",
+            flush=True,
+        )
+
+    if not journal.is_file():
+        print(f"[smoke:{label}] ERROR: no journal written before the kill")
+        return 1
+    print(
+        f"[smoke:{label}] journal holds {journal_task_lines(journal)} task "
+        "lines; resuming ...",
+        flush=True,
+    )
+    res = subprocess.run(
+        cli(
+            fa1, fa2, "--workers", "2", "--checkpoint", ckpt,
+            "--resume", "-o", out, "--stats",
+        ),
+        env=env(),
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT,
+    )
+    sys.stderr.write(res.stderr)
+    if res.returncode != 0:
+        print(f"[smoke:{label}] ERROR: --resume exited {res.returncode}")
+        return 1
+
+    if out.read_bytes() != ref.read_bytes():
+        print(
+            f"[smoke:{label}] ERROR: resumed output differs from the "
+            "uninterrupted serial run"
+        )
+        return 1
+    print(f"[smoke:{label}] OK: resumed output is byte-identical", flush=True)
+    return 0
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory(prefix="scoris_smoke_") as td:
         tmp = Path(td)
         fa1, fa2 = build_banks(tmp)
         ref = tmp / "reference.m8"
-        out = tmp / "resumed.m8"
-        ckpt = tmp / "ckpt"
-        journal = ckpt / "journal.jsonl"
 
         print("[smoke] serial reference run ...", flush=True)
         subprocess.run(
@@ -92,76 +191,15 @@ def main() -> int:
         n_ref = sum(1 for _ in ref.open())
         print(f"[smoke] reference: {n_ref} records", flush=True)
 
-        print("[smoke] launching checkpointed parallel run ...", flush=True)
-        proc = subprocess.Popen(
-            cli(fa1, fa2, "--workers", "2", "--checkpoint", ckpt, "-o", out),
-            env=env(),
-            start_new_session=True,  # own process group: killpg reaps workers
-        )
-        deadline = time.monotonic() + TIMEOUT
-        killed = False
-        while time.monotonic() < deadline:
-            done = journal_task_lines(journal)
-            if done >= KILL_AFTER_TASKS and proc.poll() is None:
-                os.killpg(proc.pid, signal.SIGKILL)
-                proc.wait()
-                killed = True
-                print(
-                    f"[smoke] SIGKILLed run after {done} journalled tasks",
-                    flush=True,
-                )
-                break
-            if proc.poll() is not None:
-                break
-            time.sleep(0.01)
-        if not killed:
-            if proc.poll() is None:
-                os.killpg(proc.pid, signal.SIGKILL)
-                proc.wait()
-                print("[smoke] ERROR: run never journalled a task", flush=True)
-                return 1
-            # The run outpaced the poller; resume still must be a clean no-op.
-            print(
-                "[smoke] WARNING: run finished before the kill "
-                "(machine too fast / banks too small); "
-                "resume degenerates to a no-op check",
-                flush=True,
-            )
-
-        if not journal.is_file():
-            print("[smoke] ERROR: no journal written before the kill")
-            return 1
-        print(
-            f"[smoke] journal holds {journal_task_lines(journal)} task lines; "
-            "resuming ...",
-            flush=True,
-        )
-        res = subprocess.run(
-            cli(
-                fa1, fa2, "--workers", "2", "--checkpoint", ckpt,
-                "--resume", "-o", out, "--stats",
-            ),
-            env=env(),
-            capture_output=True,
-            text=True,
-            timeout=TIMEOUT,
-        )
-        sys.stderr.write(res.stderr)
-        if res.returncode != 0:
-            print(f"[smoke] ERROR: --resume exited {res.returncode}")
-            return 1
-
-        if out.read_bytes() != ref.read_bytes():
-            print(
-                "[smoke] ERROR: resumed output differs from the "
-                "uninterrupted serial run"
-            )
-            return 1
-        print(
-            f"[smoke] OK: resumed output is byte-identical "
-            f"({n_ref} records)",
-            flush=True,
-        )
+        # SIGKILL to the whole group: the OOM-killer scenario.
+        rc = run_scenario("sigkill", signal.SIGKILL, True, fa1, fa2, ref, tmp)
+        if rc != 0:
+            return rc
+        # SIGTERM to the parent: the graceful-shutdown scenario.
+        rc = run_scenario("sigterm", signal.SIGTERM, False, fa1, fa2, ref, tmp)
+        if rc != 0:
+            return rc
+        print(f"[smoke] OK: both scenarios byte-identical ({n_ref} records)")
         return 0
 
 

@@ -20,6 +20,10 @@ Compare two banks with the ORIS engine::
 Same comparison with the BLASTN-like baseline, both strands, stats::
 
     scoris-n bank1.fa bank2.fa --engine blastn --strand both --stats
+
+Survive dirty inputs and bounded memory::
+
+    scoris-n messy.fa.gz bank2.fa --ingest lenient --memory-budget 2G
 """
 
 from __future__ import annotations
@@ -38,10 +42,44 @@ from .baselines import (
 )
 from .core import OrisEngine, OrisParams
 from .align.scoring import ScoringScheme
-from .io.bank import Bank
+from .io.fasta import FastaError
 from .io.m8 import format_m8
+from .io.validate import POLICIES, IngestReport, load_bank
+from .runtime.errors import (
+    EXIT_INPUT,
+    EXIT_CORRUPT,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_RESOURCE,
+    EXIT_USAGE,
+    CheckpointCorrupt,
+    IndexCorrupt,
+    InputError,
+    ResourceExhausted,
+    RunInterrupted,
+    exit_code_for,
+)
 
 __all__ = ["main", "build_parser", "run"]
+
+#: Cap on per-record diagnostic lines printed to stderr (the totals are
+#: always reported; this only bounds the line-by-line detail).
+_MAX_DIAGNOSTIC_LINES = 25
+
+_EXIT_CODE_EPILOG = """\
+exit codes:
+  0    success
+  1    unexpected internal failure
+  2    usage error (bad flags or flag combinations)
+  3    invalid input (malformed FASTA, no valid records); run with
+       --ingest lenient to salvage what can be salvaged
+  4    resource exhausted (memory budget infeasible, checkpoint disk
+       preflight failed, out of memory / disk)
+  5    corrupt checkpoint journal or persisted index archive
+  130  interrupted by SIGTERM/SIGINT; with --checkpoint the journal is
+       flushed before exit, so re-running with --resume continues from
+       the interruption point
+"""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,9 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="scoris-n",
         description="Intensive DNA bank comparison with the ORIS algorithm "
         "(reproduction of Lavenier, HiCOMB 2008).",
+        epilog=_EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument("bank1", help="first bank (FASTA); the query side")
-    parser.add_argument("bank2", help="second bank (FASTA); the subject side")
+    parser.add_argument("bank1", help="first bank (FASTA, optionally gzip); the query side")
+    parser.add_argument("bank2", help="second bank (FASTA, optionally gzip); the subject side")
     parser.add_argument(
         "-o", "--output", default="-",
         help="output file for -m8 records (default: stdout)",
@@ -59,6 +99,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--engine", choices=("oris", "blastn", "blat", "blastz"), default="oris",
         help="comparison engine (default: oris)",
+    )
+    parser.add_argument(
+        "--ingest", choices=POLICIES, default="strict", metavar="POLICY",
+        help="ingestion policy for malformed/ambiguous FASTA: 'strict' "
+        "rejects with structured diagnostics (exit 3), 'lenient' "
+        "normalises what it can (IUPAC codes and junk -> N, soft-masking "
+        "uppercased, gaps stripped) and drops the rest with warnings, "
+        "'skip' drops any problematic record whole (default: strict)",
     )
     parser.add_argument(
         "-W", "--word-size", type=int, default=11,
@@ -109,6 +157,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="output sort criterion (paper step 4; default evalue)",
     )
     parser.add_argument(
+        "--memory-budget", default=None, metavar="SIZE",
+        help="ORIS only: memory ceiling (e.g. 512M, 2G).  When the "
+        "estimated index footprint exceeds it, the subject bank is "
+        "processed in memory-bounded tiles (shrunk until they fit) "
+        "instead of dying on an OOM kill; exit 4 if no tiling can fit",
+    )
+    parser.add_argument(
+        "--tile-overlap", type=int, default=10_000, metavar="NT",
+        help="overlap between subject tiles under --memory-budget "
+        "degradation; alignments shorter than half of it are exact "
+        "(default 10000)",
+    )
+    parser.add_argument(
         "--workers", type=int, default=1, metavar="N",
         help="ORIS only: worker processes for step 2 (default 1 = serial); "
         "N > 1 runs the fault-tolerant scheduler (paper section 4 "
@@ -117,12 +178,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--checkpoint", default=None, metavar="DIR",
         help="ORIS only: journal completed step-2 ranges to DIR so a "
-        "killed run can be resumed with --resume",
+        "killed run can be resumed with --resume (free disk space is "
+        "preflighted; SIGTERM/SIGINT flush the journal before exit)",
     )
     parser.add_argument(
         "--resume", action="store_true",
         help="resume from the --checkpoint journal, skipping ranges a "
-        "previous (possibly killed) run already completed",
+        "previous (killed or interrupted) run already completed",
     )
     parser.add_argument(
         "--task-timeout", type=float, default=None, metavar="SECONDS",
@@ -136,7 +198,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--stats", action="store_true",
-        help="print per-step timings and work counters to stderr",
+        help="print per-step timings, work counters, ingestion and "
+        "resource-governor reports to stderr",
     )
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
@@ -144,40 +207,109 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fail_usage(message: str) -> int:
+    print(f"scoris-n: {message}", file=sys.stderr)
+    return EXIT_USAGE
+
+
+def _print_diagnostics(diagnostics, limit: int = _MAX_DIAGNOSTIC_LINES) -> None:
+    for d in diagnostics[:limit]:
+        print(f"scoris-n: {d.format()}", file=sys.stderr)
+    if len(diagnostics) > limit:
+        print(
+            f"scoris-n: ... and {len(diagnostics) - limit} more diagnostic(s)",
+            file=sys.stderr,
+        )
+
+
+def _load_banks(args) -> tuple:
+    """Ingest both banks under the chosen policy, reporting warnings."""
+    reports: list[IngestReport] = []
+    banks = []
+    for path in (args.bank1, args.bank2):
+        bank, report = load_bank(path, policy=args.ingest)
+        if report.warnings:
+            _print_diagnostics(report.warnings)
+        reports.append(report)
+        banks.append(bank)
+    return banks[0], banks[1], reports
+
+
 def run(argv: list[str] | None = None) -> int:
-    """Entry point logic; returns the process exit code."""
+    """Entry point logic; returns the process exit code.
+
+    Every failure the pipeline can recognise maps onto a documented exit
+    code (see ``--help``) with a structured message on stderr -- never a
+    traceback.  Genuinely unexpected exceptions still propagate, because
+    hiding an unknown bug behind exit 1 would make it undiagnosable.
+    """
     args = build_parser().parse_args(argv)
+    try:
+        return _execute(args)
+    except InputError as exc:
+        _print_diagnostics(exc.diagnostics)
+        print(f"scoris-n: input error: {exc}", file=sys.stderr)
+        return EXIT_INPUT
+    except FastaError as exc:
+        print(f"scoris-n: input error: {exc}", file=sys.stderr)
+        return EXIT_INPUT
+    except (CheckpointCorrupt, IndexCorrupt) as exc:
+        print(f"scoris-n: corrupt data: {exc}", file=sys.stderr)
+        return EXIT_CORRUPT
+    except (ResourceExhausted, MemoryError) as exc:
+        print(f"scoris-n: resource exhausted: {exc}", file=sys.stderr)
+        return EXIT_RESOURCE
+    except RunInterrupted as exc:
+        print(f"scoris-n: {exc}", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except KeyboardInterrupt:
+        print("scoris-n: interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except OSError as exc:
+        print(f"scoris-n: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
+
+
+def _execute(args) -> int:
+    from .runtime.governor import (
+        estimate_checkpoint_bytes,
+        parse_size,
+        plan_comparison,
+        preflight_disk,
+        sample_rss,
+    )
+
     use_runtime = (
         args.workers > 1 or args.checkpoint is not None or args.resume
     )
     if args.resume and args.checkpoint is None:
-        print("scoris-n: --resume requires --checkpoint DIR", file=sys.stderr)
-        return 2
+        return _fail_usage("--resume requires --checkpoint DIR")
     if use_runtime and args.engine != "oris":
-        print(
-            "scoris-n: --workers/--checkpoint/--resume require --engine oris",
-            file=sys.stderr,
+        return _fail_usage(
+            "--workers/--checkpoint/--resume require --engine oris"
         )
-        return 2
     if use_runtime and args.strand != "plus":
-        print(
-            "scoris-n: the resilient runtime searches a single strand "
-            "(--strand plus)",
-            file=sys.stderr,
+        return _fail_usage(
+            "the resilient runtime searches a single strand (--strand plus)"
         )
-        return 2
+    budget = None
+    if args.memory_budget is not None:
+        if args.engine != "oris":
+            return _fail_usage("--memory-budget requires --engine oris")
+        try:
+            budget = parse_size(args.memory_budget)
+        except ValueError as exc:
+            return _fail_usage(f"--memory-budget: {exc}")
+    if args.tile_overlap < 0:
+        return _fail_usage("--tile-overlap must be >= 0")
+
     scoring = ScoringScheme(
         match=args.match,
         mismatch=args.mismatch,
         xdrop_ungapped=args.xdrop,
         xdrop_gapped=args.xdrop_gapped,
     )
-    try:
-        bank1 = Bank.from_fasta(args.bank1)
-        bank2 = Bank.from_fasta(args.bank2)
-    except (OSError, ValueError) as exc:
-        print(f"scoris-n: error reading banks: {exc}", file=sys.stderr)
-        return 2
+    bank1, bank2, ingest_reports = _load_banks(args)
 
     if args.engine == "oris":
         engine = OrisEngine(
@@ -227,8 +359,30 @@ def run(argv: list[str] | None = None) -> int:
             )
         )
 
+    # ---- Resource governor: plan the run before building any index ---- #
+    plan = None
+    if args.engine == "oris" and budget is not None:
+        plan = plan_comparison(
+            bank1, bank2, budget, overlap=args.tile_overlap
+        )
+        if plan.degraded and use_runtime:
+            print(
+                "scoris-n: warning: --memory-budget degradation uses the "
+                "tiled engine, which runs serially without checkpoints; "
+                "--workers/--checkpoint/--resume are ignored for this run",
+                file=sys.stderr,
+            )
+            use_runtime = False
+        if plan.degraded:
+            print(f"scoris-n: governor: {plan.reason}", file=sys.stderr)
+
     if use_runtime:
-        from .runtime.scheduler import RuntimeConfig, compare_resilient
+        from .runtime.scheduler import (
+            RuntimeConfig,
+            ShutdownRequest,
+            compare_resilient,
+            signal_shutdown,
+        )
 
         config = RuntimeConfig(
             n_workers=max(args.workers, 1),
@@ -237,9 +391,27 @@ def run(argv: list[str] | None = None) -> int:
             checkpoint_dir=args.checkpoint,
             resume=args.resume,
         )
-        result = compare_resilient(bank1, bank2, engine.params, config)
+        if args.checkpoint is not None:
+            n_tasks = config.n_workers * config.tasks_per_worker
+            preflight_disk(args.checkpoint, estimate_checkpoint_bytes(n_tasks))
+        stop = ShutdownRequest()
+        with signal_shutdown(stop):
+            result = compare_resilient(bank1, bank2, engine.params, config, stop=stop)
+    elif plan is not None and plan.degraded:
+        from .core.tiled import compare_tiled
+
+        result = compare_tiled(
+            bank1,
+            bank2,
+            engine.params,
+            tile_nt=plan.tile_nt,
+            overlap=plan.overlap,
+        )
+        result.counters.n_memory_degradations += 1
     else:
         result = engine.compare(bank1, bank2)
+
+    sample_rss(result.counters)
     text = format_m8(result.records)
     if args.output == "-":
         sys.stdout.write(text)
@@ -248,27 +420,42 @@ def run(argv: list[str] | None = None) -> int:
             fh.write(text)
 
     if args.stats:
-        t = result.timings
-        c = result.counters
+        _print_stats(args, result, plan, ingest_reports, use_runtime)
+    return EXIT_OK
+
+
+def _print_stats(args, result, plan, ingest_reports, use_runtime) -> None:
+    from .runtime.governor import format_size
+
+    t = result.timings
+    c = result.counters
+    print(
+        f"# step timings (s): index={t.index:.3f} ungapped={t.ungapped:.3f} "
+        f"gapped={t.gapped:.3f} display={t.display:.3f} total={t.total:.3f}",
+        file=sys.stderr,
+    )
+    print(
+        f"# work: pairs={c.n_pairs} cut={c.n_cut} hsps={c.n_hsps} "
+        f"alignments={c.n_alignments} records={c.n_records}",
+        file=sys.stderr,
+    )
+    for report in ingest_reports:
+        print(f"# ingest[{report.policy}]: {report.summary()}", file=sys.stderr)
+    if use_runtime:
         print(
-            f"# step timings (s): index={t.index:.3f} ungapped={t.ungapped:.3f} "
-            f"gapped={t.gapped:.3f} display={t.display:.3f} total={t.total:.3f}",
+            f"# runtime: retries={c.n_retries} crashes={c.n_crashes} "
+            f"timeouts={c.n_timeouts} quarantined={c.n_quarantined} "
+            f"degraded={c.n_degraded} skipped={c.n_skipped_tasks} "
+            f"resumed={c.n_resumed}",
             file=sys.stderr,
         )
-        print(
-            f"# work: pairs={c.n_pairs} cut={c.n_cut} hsps={c.n_hsps} "
-            f"alignments={c.n_alignments} records={c.n_records}",
-            file=sys.stderr,
-        )
-        if use_runtime:
-            print(
-                f"# runtime: retries={c.n_retries} crashes={c.n_crashes} "
-                f"timeouts={c.n_timeouts} quarantined={c.n_quarantined} "
-                f"degraded={c.n_degraded} skipped={c.n_skipped_tasks} "
-                f"resumed={c.n_resumed}",
-                file=sys.stderr,
-            )
-    return 0
+    if plan is not None:
+        print(f"# governor: {plan.describe()}", file=sys.stderr)
+    print(
+        f"# resources: rss_peak={format_size(c.rss_peak_bytes)} "
+        f"tiles={c.n_tiles} memory_degradations={c.n_memory_degradations}",
+        file=sys.stderr,
+    )
 
 
 def main() -> None:  # pragma: no cover - thin wrapper

@@ -88,6 +88,10 @@ class WorkCounters:
     n_degraded: int = 0  # tasks completed in-parent after degradation
     n_skipped_tasks: int = 0  # poisoned tasks dropped from the result
     n_resumed: int = 0  # tasks restored from a checkpoint journal
+    # Resource-governor metrics (repro.runtime.governor).
+    n_tiles: int = 0  # subject tiles processed (tiled/degraded runs)
+    n_memory_degradations: int = 0  # budget-forced switches to tiling
+    rss_peak_bytes: int = 0  # process peak RSS high-water mark
 
 
 @dataclass(slots=True)
@@ -314,6 +318,11 @@ def _merge_results(
     )
     c = WorkCounters()
     for name in WorkCounters.__dataclass_fields__:
+        if name == "rss_peak_bytes":  # high-water mark, not additive
+            c.rss_peak_bytes = max(
+                plus.counters.rss_peak_bytes, minus.counters.rss_peak_bytes
+            )
+            continue
         setattr(c, name, getattr(plus.counters, name) + getattr(minus.counters, name))
     return ComparisonResult(
         records=records,

@@ -147,9 +147,15 @@ def compare_tiled(
     records: list[M8Record] = []
     for tile in iter_subject_tiles(bank2, tile_nt, overlap):
         res = engine.compare(bank1, tile.bank)
+        counters.n_tiles += 1
         for name in StepTimings.__dataclass_fields__:
             setattr(timings, name, getattr(timings, name) + getattr(res.timings, name))
         for name in WorkCounters.__dataclass_fields__:
+            if name == "rss_peak_bytes":  # high-water mark, not additive
+                counters.rss_peak_bytes = max(
+                    counters.rss_peak_bytes, res.counters.rss_peak_bytes
+                )
+                continue
             setattr(counters, name, getattr(counters, name) + getattr(res.counters, name))
         for rec in res.records:
             off = tile.offsets[rec.subject_id]

@@ -1,21 +1,30 @@
-"""Input/output substrate: FASTA parsing, in-memory banks, ``-m 8`` records."""
+"""Input/output substrate: FASTA parsing, validation, banks, ``-m 8``."""
 
 from .fasta import (
     FastaError,
     FastaRecord,
     format_fasta,
     iter_fasta,
+    iter_fasta_tolerant,
     read_fasta,
     write_fasta,
 )
 from .bank import Bank
 from .m8 import M8Record, format_m8, parse_m8, read_m8, write_m8
+from .validate import (
+    POLICIES,
+    IngestReport,
+    InputDiagnostic,
+    load_bank,
+    validate_records,
+)
 
 __all__ = [
     "FastaError",
     "FastaRecord",
     "format_fasta",
     "iter_fasta",
+    "iter_fasta_tolerant",
     "read_fasta",
     "write_fasta",
     "Bank",
@@ -24,4 +33,9 @@ __all__ = [
     "parse_m8",
     "read_m8",
     "write_m8",
+    "POLICIES",
+    "IngestReport",
+    "InputDiagnostic",
+    "load_bank",
+    "validate_records",
 ]

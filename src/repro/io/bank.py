@@ -103,8 +103,24 @@ class Bank:
         return cls(names, encoded)
 
     @classmethod
-    def from_fasta(cls, source) -> "Bank":
-        """Build a bank from a FASTA path or stream."""
+    def from_fasta(cls, source, policy: str | None = None) -> "Bank":
+        """Build a bank from a FASTA path or stream.
+
+        With ``policy=None`` (the historical behaviour) the raw parser
+        runs and characters outside ``ACGT`` encode to the invalid
+        sentinel without comment.  Passing an ingestion policy
+        (``"strict"``/``"lenient"``/``"skip"``) routes through the
+        validating layer (:func:`repro.io.validate.load_bank`), which
+        normalises soft-masking/IUPAC codes and raises a structured
+        :class:`~repro.runtime.errors.InputError` on malformed input;
+        use :func:`~repro.io.validate.load_bank` directly when the
+        :class:`~repro.io.validate.IngestReport` is wanted too.
+        """
+        if policy is not None:
+            from .validate import load_bank
+
+            bank, _report = load_bank(source, policy)
+            return bank
         names: list[str] = []
         encoded: list[np.ndarray] = []
         for name, sequence in iter_fasta(source):

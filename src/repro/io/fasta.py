@@ -5,28 +5,53 @@ The ORIS paper takes its two input banks directly as FASTA files
 files").  This module provides the parsing substrate: it yields
 ``(identifier, sequence)`` pairs, tolerating the format variations that
 occur in real GenBank exports (wrapped lines, Windows line endings, blank
-lines, comment lines starting with ``;``) while rejecting clearly corrupt
-input instead of silently mis-parsing it.
+lines inside records, a final record without a trailing newline, comment
+lines starting with ``;``, a UTF-8 byte-order mark, gzip-compressed files)
+while rejecting clearly corrupt input instead of silently mis-parsing it.
+
+Two entry points share one parse loop:
+
+* :func:`iter_fasta` -- the strict reader: any structural problem raises
+  :class:`FastaError` carrying the offending line number.
+* :func:`iter_fasta_tolerant` -- the hook the validating ingestion layer
+  (:mod:`repro.io.validate`) builds on: structural problems are reported
+  to a callback that decides, per problem, whether to skip and continue
+  or to abort.
 """
 
 from __future__ import annotations
 
+import gzip
 import io
 import os
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 
 __all__ = [
     "FastaError",
     "FastaRecord",
     "iter_fasta",
+    "iter_fasta_tolerant",
     "read_fasta",
     "write_fasta",
     "format_fasta",
 ]
 
+#: gzip magic bytes; files starting with these are transparently inflated.
+_GZIP_MAGIC = b"\x1f\x8b"
+
 
 class FastaError(ValueError):
-    """Raised when input text is not valid FASTA."""
+    """Raised when input text is not valid FASTA.
+
+    ``lineno`` is the 1-based line of the problem when known, and
+    ``code`` a short machine-readable problem identifier (the same codes
+    the validating layer uses for its diagnostics).
+    """
+
+    def __init__(self, message: str, lineno: int | None = None, code: str = "malformed"):
+        super().__init__(message)
+        self.lineno = lineno
+        self.code = code
 
 
 class FastaRecord(tuple):
@@ -59,15 +84,111 @@ class FastaRecord(tuple):
 
 
 def _open_text(source) -> tuple[io.TextIOBase, bool]:
-    """Return a text stream for *source* and whether we own (must close) it."""
+    """Return a text stream for *source* and whether we own (must close) it.
+
+    Paths are opened in binary first so gzip files (sniffed by magic
+    bytes, not extension) inflate transparently; decoding uses
+    ``utf-8-sig`` so a byte-order mark in front of the first header --
+    the signature of a file that round-tripped through a Windows editor
+    -- never corrupts the first record's name.
+    """
     if isinstance(source, (str, os.PathLike)):
-        return open(source, "r", encoding="ascii", errors="replace"), True
+        raw = open(source, "rb")
+        try:
+            if raw.read(2) == _GZIP_MAGIC:
+                raw.seek(0)
+                stream = io.TextIOWrapper(
+                    gzip.GzipFile(fileobj=raw),
+                    encoding="utf-8-sig",
+                    errors="replace",
+                )
+            else:
+                raw.seek(0)
+                stream = io.TextIOWrapper(
+                    raw, encoding="utf-8-sig", errors="replace"
+                )
+        except Exception:
+            raw.close()
+            raise
+        return stream, True
     if isinstance(source, io.TextIOBase):
         return source, False
     if hasattr(source, "read"):
-        # Binary stream: wrap it.
-        return io.TextIOWrapper(source, encoding="ascii", errors="replace"), False
+        # Binary stream: buffer it so the gzip magic can be peeked.
+        buffered = source
+        if not hasattr(buffered, "peek"):
+            buffered = io.BufferedReader(buffered)
+        head = buffered.peek(2)[:2]
+        if head == _GZIP_MAGIC:
+            buffered = gzip.GzipFile(fileobj=buffered)
+        return (
+            io.TextIOWrapper(buffered, encoding="utf-8-sig", errors="replace"),
+            False,
+        )
     raise TypeError(f"cannot read FASTA from {type(source).__name__}")
+
+
+def iter_fasta_tolerant(
+    source,
+    on_problem: Callable[[int, str, str], bool],
+) -> Iterator[tuple[FastaRecord, int]]:
+    """Stream ``(record, header_lineno)`` pairs, delegating problems.
+
+    ``on_problem(lineno, code, message)`` is called for every structural
+    problem (codes ``"data-before-header"``, ``"empty-header"``); it
+    either raises to abort the parse or returns ``True`` to skip the
+    offending line and continue.  Sequence lines have internal
+    whitespace removed (GenBank pretty-printing leaves stray spaces and
+    tabs inside wrapped lines); character-level validation is the
+    :mod:`repro.io.validate` layer's job, not this parser's.
+
+    The reader tolerates, and parses identically to their clean forms:
+    CRLF line endings, blank lines between or inside records, ``;``
+    comment lines, a missing final newline, a UTF-8 BOM, and gzip input.
+    """
+    stream, owned = _open_text(source)
+    try:
+        name: str | None = None
+        name_line = 0
+        chunks: list[str] = []
+        for lineno, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line or line.startswith(";"):
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    yield FastaRecord(name, "".join(chunks)), name_line
+                header = line[1:].strip()
+                if not header:
+                    on_problem(
+                        lineno, "empty-header", f"empty FASTA header at line {lineno}"
+                    )
+                    # Skipped: orphan the following sequence lines too.
+                    name = None
+                    chunks = []
+                    continue
+                name = header.split()[0]
+                name_line = lineno
+                chunks = []
+            else:
+                if name is None:
+                    on_problem(
+                        lineno,
+                        "data-before-header",
+                        f"sequence data before first '>' header at line {lineno}",
+                    )
+                    continue
+                # Drop internal whitespace (wrapped GenBank exports).
+                chunks.append("".join(line.split()))
+        if name is not None:
+            yield FastaRecord(name, "".join(chunks)), name_line
+    finally:
+        if owned:
+            stream.close()
+
+
+def _raise_problem(lineno: int, code: str, message: str) -> bool:
+    raise FastaError(message, lineno=lineno, code=code)
 
 
 def iter_fasta(source) -> Iterator[FastaRecord]:
@@ -83,33 +204,8 @@ def iter_fasta(source) -> Iterator[FastaRecord]:
         If sequence data appears before the first header, or a header line
         is empty.
     """
-    stream, owned = _open_text(source)
-    try:
-        name: str | None = None
-        chunks: list[str] = []
-        for lineno, raw in enumerate(stream, start=1):
-            line = raw.strip()
-            if not line or line.startswith(";"):
-                continue
-            if line.startswith(">"):
-                if name is not None:
-                    yield FastaRecord(name, "".join(chunks))
-                header = line[1:].strip()
-                if not header:
-                    raise FastaError(f"empty FASTA header at line {lineno}")
-                name = header.split()[0]
-                chunks = []
-            else:
-                if name is None:
-                    raise FastaError(
-                        f"sequence data before first '>' header at line {lineno}"
-                    )
-                chunks.append(line)
-        if name is not None:
-            yield FastaRecord(name, "".join(chunks))
-    finally:
-        if owned:
-            stream.close()
+    for record, _lineno in iter_fasta_tolerant(source, _raise_problem):
+        yield record
 
 
 def read_fasta(source) -> list[FastaRecord]:

@@ -1,0 +1,361 @@
+"""Validating, streaming bank ingestion (the pipeline's input boundary).
+
+The engine's encoding substrate (:mod:`repro.encoding.codes`) silently
+maps anything outside ``ACGT`` to the :data:`~repro.encoding.INVALID`
+sentinel, and the raw FASTA parser raises bare exceptions with no record
+context.  That is fine for trusted synthetic inputs; real GenBank exports
+arrive with soft-masked (lowercase) repeats, IUPAC ambiguity codes, RNA
+``U``, alignment gaps, duplicated identifiers, and the occasional truncated
+or binary file.  This module is the defensive boundary between those files
+and the engine:
+
+* every problem becomes a structured :class:`InputDiagnostic` carrying
+  *file / line / record* provenance instead of a traceback;
+* three policies decide what survives:
+
+  ``strict``
+      Anything malformed (structural damage, illegal characters, non-``N``
+      ambiguity codes, empty sequences, duplicate identifiers) is an
+      error; ingestion raises :class:`~repro.runtime.errors.InputError`
+      carrying the full diagnostic list (CLI exit code 3).
+  ``lenient``
+      Salvage what can be salvaged: ambiguity codes and illegal characters
+      become ``N`` (which never matches, so results on the valid remainder
+      are exact), gaps and stray digits are stripped, unsalvageable
+      records (empty, duplicate id) are dropped -- each with a warning
+      diagnostic.
+  ``skip``
+      Like ``lenient``, but a record with any error-class problem is
+      dropped whole instead of patched.
+
+* normalization that applies under every policy: lowercase soft-masking is
+  uppercased, ``U`` becomes ``T``, CRLF/BOM/gzip handling lives in the
+  parser underneath (:mod:`repro.io.fasta`).
+
+Character handling is vectorised through a 256-entry classification /
+translation table (same technique as :func:`repro.encoding.codes.encode`),
+so validation streams at NumPy speed rather than Python-loop speed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..encoding import encode
+from ..runtime.errors import InputError
+from .bank import Bank
+from .fasta import FastaRecord, iter_fasta_tolerant
+
+__all__ = [
+    "POLICIES",
+    "InputDiagnostic",
+    "IngestReport",
+    "validate_records",
+    "load_bank",
+]
+
+#: The three ingestion policies, in decreasing strictness.
+POLICIES: tuple[str, ...] = ("strict", "lenient", "skip")
+
+# ---------------------------------------------------------------------- #
+# Character classification (one table lookup per byte, NumPy-vectorised)
+# ---------------------------------------------------------------------- #
+
+_OK = 0  # unambiguous upper-case nucleotide, kept as-is
+_MASKED = 1  # lower-case acgt: soft-masked repeat, uppercased
+_URACIL = 2  # U/u: RNA, becomes T
+_N = 3  # N/n: already the explicit "unknown" code, kept
+_AMBIG = 4  # non-N IUPAC ambiguity code, becomes N (error under strict)
+_STRIP = 5  # gap/punctuation/digit noise, removed
+_ILLEGAL = 6  # anything else (binary junk, mojibake), N under lenient
+
+_CLASS = np.full(256, _ILLEGAL, dtype=np.uint8)
+_TRANS = np.full(256, ord("N"), dtype=np.uint8)
+for _c in b"ACGT":
+    _CLASS[_c] = _OK
+    _TRANS[_c] = _c
+for _c in b"acgt":
+    _CLASS[_c] = _MASKED
+    _TRANS[_c] = _c - 32  # uppercase
+for _c in b"Uu":
+    _CLASS[_c] = _URACIL
+    _TRANS[_c] = ord("T")
+_CLASS[ord("N")] = _CLASS[ord("n")] = _N
+for _c in b"RYSWKMBDHVryswkmbdhv":
+    _CLASS[_c] = _AMBIG
+for _c in b"-.*0123456789":
+    _CLASS[_c] = _STRIP
+    _TRANS[_c] = 0  # dropped
+
+
+@dataclass(frozen=True, slots=True)
+class InputDiagnostic:
+    """One structured ingestion finding with full provenance.
+
+    ``severity`` is ``"error"`` (rejects the input under ``strict``) or
+    ``"warning"`` (normalised/dropped content the caller should know
+    about).  ``code`` is a stable machine-readable identifier; tests and
+    the CI smoke corpus match on it, never on the message text.
+    """
+
+    severity: str
+    code: str
+    message: str
+    source: str
+    line: int | None = None
+    record: str | None = None
+
+    def format(self) -> str:
+        """Render as a compiler-style one-liner for stderr."""
+        loc = self.source if self.line is None else f"{self.source}:{self.line}"
+        rec = "" if self.record is None else f" (record {self.record!r})"
+        return f"{loc}: {self.severity}[{self.code}]: {self.message}{rec}"
+
+
+@dataclass(slots=True)
+class IngestReport:
+    """Everything one ingestion pass observed, machine-readable.
+
+    Character counters are totals over the whole source; per-record
+    details live in :attr:`diagnostics`.
+    """
+
+    source: str
+    policy: str
+    diagnostics: list[InputDiagnostic] = field(default_factory=list)
+    n_records: int = 0  # records accepted into the bank
+    n_dropped: int = 0  # records rejected/skipped
+    n_masked_chars: int = 0  # lowercase soft-mask characters uppercased
+    n_uracil_chars: int = 0  # U -> T substitutions
+    n_ambiguous_chars: int = 0  # non-N IUPAC codes (-> N under lenient)
+    n_stripped_chars: int = 0  # gaps / digits removed
+    n_illegal_chars: int = 0  # unclassifiable characters
+
+    @property
+    def errors(self) -> list[InputDiagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> list[InputDiagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def add(
+        self,
+        severity: str,
+        code: str,
+        message: str,
+        line: int | None = None,
+        record: str | None = None,
+    ) -> None:
+        self.diagnostics.append(
+            InputDiagnostic(severity, code, message, self.source, line, record)
+        )
+
+    def summary(self) -> str:
+        """One-line roll-up for stats output and CLI reports."""
+        return (
+            f"{self.source}: {self.n_records} record(s) accepted, "
+            f"{self.n_dropped} dropped; "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s); "
+            f"chars: {self.n_masked_chars} unmasked, "
+            f"{self.n_ambiguous_chars} ambiguous, "
+            f"{self.n_stripped_chars} stripped, "
+            f"{self.n_illegal_chars} illegal"
+        )
+
+
+def _source_name(source, override: str | None) -> str:
+    if override is not None:
+        return override
+    if isinstance(source, (str, os.PathLike)):
+        return os.fspath(source)
+    name = getattr(source, "name", None)
+    return name if isinstance(name, str) else "<stream>"
+
+
+def _classify(sequence: str) -> tuple[np.ndarray, np.ndarray]:
+    """Return (per-class counts[7], byte array of the raw sequence)."""
+    raw = np.frombuffer(
+        sequence.encode("utf-8", errors="replace"), dtype=np.uint8
+    )
+    counts = np.bincount(_CLASS[raw], minlength=7)
+    return counts, raw
+
+
+def _normalize(raw: np.ndarray) -> str:
+    """Apply the translation table; drop strip-class characters."""
+    out = _TRANS[raw]
+    keep = out != 0
+    return out[keep].tobytes().decode("ascii")
+
+
+def validate_records(
+    source,
+    policy: str = "strict",
+    source_name: str | None = None,
+) -> tuple[list[FastaRecord], IngestReport]:
+    """Parse, validate and normalise FASTA records under *policy*.
+
+    Returns the accepted (normalised) records and the full
+    :class:`IngestReport`.  Raises
+    :class:`~repro.runtime.errors.InputError` when the input is
+    unusable: any error-class diagnostic under ``strict``, an unreadable
+    file under every policy, or zero valid records remaining.
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown ingestion policy {policy!r}; use one of {POLICIES}")
+    name = _source_name(source, source_name)
+    report = IngestReport(source=name, policy=policy)
+
+    def on_problem(lineno: int, code: str, message: str) -> bool:
+        severity = "error" if policy == "strict" else "warning"
+        report.add(severity, code, message, line=lineno)
+        return True  # always continue; strict raises at the end
+
+    accepted: list[FastaRecord] = []
+    seen: dict[str, int] = {}
+    try:
+        for record, lineno in iter_fasta_tolerant(source, on_problem):
+            _ingest_one(record, lineno, policy, report, accepted, seen)
+    except OSError as exc:
+        # Unreadable file, truncated/corrupt gzip stream, permission
+        # problem: nothing downstream can be trusted.
+        report.add("error", "io-error", str(exc))
+        raise InputError(
+            f"cannot read {name}: {exc}", diagnostics=report.diagnostics
+        ) from exc
+    except EOFError as exc:  # gzip: "Compressed file ended before ..."
+        report.add("error", "io-error", f"truncated compressed input: {exc}")
+        raise InputError(
+            f"cannot read {name}: truncated compressed input",
+            diagnostics=report.diagnostics,
+        ) from exc
+
+    report.n_records = len(accepted)
+    if policy == "strict" and not report.ok:
+        n = len(report.errors)
+        raise InputError(
+            f"{name}: {n} ingestion error(s) under the strict policy",
+            diagnostics=report.diagnostics,
+        )
+    if not accepted:
+        report.add("error", "no-valid-records", "no valid FASTA records in input")
+        raise InputError(
+            f"{name}: no valid FASTA records", diagnostics=report.diagnostics
+        )
+    return accepted, report
+
+
+def _ingest_one(
+    record: FastaRecord,
+    lineno: int,
+    policy: str,
+    report: IngestReport,
+    accepted: list[FastaRecord],
+    seen: dict[str, int],
+) -> None:
+    rid = record.name
+    counts, raw = _classify(record.sequence)
+    n_masked = int(counts[_MASKED])
+    n_uracil = int(counts[_URACIL])
+    n_ambig = int(counts[_AMBIG])
+    n_strip = int(counts[_STRIP])
+    n_illegal = int(counts[_ILLEGAL])
+    report.n_masked_chars += n_masked
+    report.n_uracil_chars += n_uracil
+    report.n_ambiguous_chars += n_ambig
+    report.n_stripped_chars += n_strip
+    report.n_illegal_chars += n_illegal
+
+    problems: list[tuple[str, str]] = []  # (code, message), error-class
+    if n_illegal:
+        problems.append(
+            (
+                "illegal-characters",
+                f"{n_illegal} character(s) outside the IUPAC alphabet",
+            )
+        )
+    if n_ambig:
+        problems.append(
+            (
+                "ambiguous-nucleotides",
+                f"{n_ambig} non-N IUPAC ambiguity code(s)",
+            )
+        )
+    if rid in seen:
+        problems.append(
+            ("duplicate-id", f"identifier already used at line {seen[rid]}")
+        )
+
+    normalized = _normalize(raw)
+    if not normalized:
+        problems.append(("empty-sequence", "record has no sequence characters"))
+
+    if problems:
+        if policy == "strict":
+            for code, message in problems:
+                report.add("error", code, message, line=lineno, record=rid)
+            report.n_dropped += 1
+            return
+        # lenient salvages what it can; skip drops the whole record; both
+        # drop records that cannot be represented at all.
+        salvageable = all(
+            code in ("illegal-characters", "ambiguous-nucleotides")
+            for code, _ in problems
+        )
+        if policy == "skip" or not salvageable:
+            for code, message in problems:
+                report.add(
+                    "warning", code, message + "; record dropped",
+                    line=lineno, record=rid,
+                )
+            report.n_dropped += 1
+            return
+        for code, message in problems:
+            report.add(
+                "warning", code, message + "; mapped to N",
+                line=lineno, record=rid,
+            )
+    if n_masked or n_uracil:
+        details = []
+        if n_masked:
+            details.append(f"{n_masked} soft-masked character(s) uppercased")
+        if n_uracil:
+            details.append(f"{n_uracil} U character(s) converted to T")
+        report.add(
+            "warning", "normalized", "; ".join(details), line=lineno, record=rid
+        )
+    if normalized.count("N") == len(normalized):
+        report.add(
+            "warning",
+            "all-ambiguous",
+            "record contains no unambiguous nucleotide (it can never match)",
+            line=lineno,
+            record=rid,
+        )
+    seen[rid] = lineno
+    accepted.append(FastaRecord(rid, normalized))
+
+
+def load_bank(
+    source,
+    policy: str = "strict",
+    source_name: str | None = None,
+) -> tuple[Bank, IngestReport]:
+    """Ingest a FASTA source into a :class:`~repro.io.bank.Bank`.
+
+    The validating counterpart of :meth:`Bank.from_fasta`: same result
+    on clean input, structured diagnostics (and policy-driven salvage)
+    on everything else.
+    """
+    records, report = validate_records(source, policy, source_name)
+    names = [r.name for r in records]
+    encoded = [encode(r.sequence) for r in records]
+    return Bank(names, encoded), report

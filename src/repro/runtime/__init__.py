@@ -22,11 +22,15 @@ from __future__ import annotations
 from .errors import (
     CheckpointCorrupt,
     IndexCorrupt,
+    InputError,
     OrisRuntimeError,
     PoolUnhealthy,
+    ResourceExhausted,
+    RunInterrupted,
     TaskPoisoned,
     TaskTimeout,
     WorkerCrash,
+    exit_code_for,
 )
 
 __all__ = [
@@ -37,10 +41,19 @@ __all__ = [
     "PoolUnhealthy",
     "CheckpointCorrupt",
     "IndexCorrupt",
+    "InputError",
+    "ResourceExhausted",
+    "RunInterrupted",
+    "exit_code_for",
     "CheckpointJournal",
     "RuntimeConfig",
     "TaskScheduler",
     "compare_resilient",
+    "signal_shutdown",
+    "ResourcePlan",
+    "plan_comparison",
+    "preflight_disk",
+    "rss_peak_bytes",
 ]
 
 _LAZY = {
@@ -48,6 +61,11 @@ _LAZY = {
     "RuntimeConfig": "scheduler",
     "TaskScheduler": "scheduler",
     "compare_resilient": "scheduler",
+    "signal_shutdown": "scheduler",
+    "ResourcePlan": "governor",
+    "plan_comparison": "governor",
+    "preflight_disk": "governor",
+    "rss_peak_bytes": "governor",
 }
 
 

@@ -35,9 +35,12 @@ from __future__ import annotations
 import heapq
 import itertools
 import multiprocessing as mp
+import signal as _signal
+import threading
 import time
 import warnings
 import zlib
+from contextlib import contextmanager
 from multiprocessing.connection import wait as _conn_wait
 from dataclasses import dataclass, field
 
@@ -56,9 +59,68 @@ from ..core.parallel import (
 from ..core.params import OrisParams
 from ..io.bank import Bank
 from .checkpoint import CheckpointJournal
-from .errors import PoolUnhealthy, TaskPoisoned
+from .errors import PoolUnhealthy, RunInterrupted, TaskPoisoned
 
-__all__ = ["RuntimeConfig", "TaskScheduler", "compare_resilient"]
+__all__ = [
+    "RuntimeConfig",
+    "TaskScheduler",
+    "ShutdownRequest",
+    "signal_shutdown",
+    "compare_resilient",
+]
+
+
+class ShutdownRequest(threading.Event):
+    """A stop flag that remembers which signal (if any) raised it.
+
+    The scheduler polls :meth:`is_set` once per event-loop iteration and,
+    when set, stops dispatching, drains in-flight tasks into the journal,
+    and raises :class:`~repro.runtime.errors.RunInterrupted`.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.signum: int | None = None
+
+    def trip(self, signum: int | None = None) -> None:
+        """Request shutdown (records the triggering signal first)."""
+        self.signum = signum
+        self.set()
+
+
+@contextmanager
+def signal_shutdown(
+    stop: ShutdownRequest,
+    signals: tuple[int, ...] = (_signal.SIGTERM, _signal.SIGINT),
+):
+    """Route termination signals into *stop* for the ``with`` body.
+
+    A second delivery of the same signal falls through to the previous
+    (usually default) handler, so a stuck drain can still be killed the
+    ordinary way.  Handlers can only be installed from the main thread;
+    elsewhere this is a no-op and the caller keeps Python's defaults.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield stop
+        return
+    previous: dict[int, object] = {}
+
+    def handler(signum, frame):  # noqa: ARG001 - signal API
+        if stop.is_set():
+            # Second signal: restore and re-raise for an immediate exit.
+            for sig, old in previous.items():
+                _signal.signal(sig, old)  # type: ignore[arg-type]
+            _signal.raise_signal(signum)
+            return
+        stop.trip(signum)
+
+    try:
+        for sig in signals:
+            previous[sig] = _signal.signal(sig, handler)
+        yield stop
+    finally:
+        for sig, old in previous.items():
+            _signal.signal(sig, old)  # type: ignore[arg-type]
 
 
 @dataclass(frozen=True)
@@ -98,6 +160,9 @@ class RuntimeConfig:
         Raise :class:`TaskPoisoned` instead of dropping a poisoned task.
     poll_interval:
         Scheduler event-loop granularity in seconds.
+    drain_timeout:
+        On SIGTERM/SIGINT: seconds to wait for in-flight tasks to finish
+        (and reach the journal) before workers are stopped anyway.
     fault:
         Test-only fault injection forwarded to the worker payload.
     """
@@ -114,6 +179,7 @@ class RuntimeConfig:
     start_method: str | None = None
     strict: bool = False
     poll_interval: float = 0.02
+    drain_timeout: float = 10.0
     fault: FaultSpec | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -145,6 +211,13 @@ def _scheduler_worker(payload: RangePayload, conn) -> None:
     in the calling thread (unlike ``mp.Queue``'s background feeder), so
     a crash can never orphan a lock another worker needs.
     """
+    try:
+        # Ctrl-C delivers SIGINT to the whole foreground process group;
+        # the *parent* owns the graceful-drain decision, so workers must
+        # not die underneath it mid-task.
+        _signal.signal(_signal.SIGINT, _signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
     while True:
         try:
             item = conn.recv()
@@ -226,6 +299,7 @@ class TaskScheduler:
         counters: WorkCounters,
         journal: CheckpointJournal | None = None,
         completed: dict[int, RangeResult] | None = None,
+        stop: ShutdownRequest | None = None,
     ):
         self.payload = payload
         self.tasks = dict(enumerate(ranges))
@@ -234,8 +308,24 @@ class TaskScheduler:
         self.journal = journal
         self.completed: dict[int, RangeResult] = dict(completed or {})
         self.skipped: list[int] = []
+        self.stop = stop if stop is not None else ShutdownRequest()
         self._failures: dict[int, int] = {}
         self._seq = itertools.count()
+
+    def _interrupt(self) -> None:
+        """Raise :class:`RunInterrupted` describing the drained state."""
+        signum = self.stop.signum
+        name = (
+            _signal.Signals(signum).name if signum is not None else "request"
+        )
+        raise RunInterrupted(
+            f"run interrupted by {name}: {len(self.completed)} task(s) "
+            f"completed and journalled, "
+            f"{len(self.tasks) - len(self.completed) - len(self.skipped)} "
+            "pending; resume with --resume",
+            signum=signum,
+            n_completed=len(self.completed),
+        )
 
     # ------------------------------------------------------------------ #
     # Bookkeeping
@@ -297,8 +387,12 @@ class TaskScheduler:
         )
         if method is None:
             # Serial mode (single worker or no usable start method):
-            # still checkpointed, still quarantine-protected.
+            # still checkpointed, still quarantine-protected, and still
+            # interruptible at task granularity (the finished task is
+            # already in the journal when the signal is honoured).
             for tid in todo:
+                if self.stop.is_set():
+                    self._interrupt()
                 self._run_with_retries_inline(tid)
             return self.completed
         self._run_pool(todo, method)
@@ -323,6 +417,38 @@ class TaskScheduler:
             else:
                 self._complete(task_id, result)
                 return
+
+    def _drain(self, workers: list[_Worker]) -> None:
+        """Graceful shutdown: let in-flight tasks finish, journal them.
+
+        Waits up to ``drain_timeout`` for busy workers to deliver their
+        current task, completing (and journalling) every result that
+        arrives.  No new work is dispatched; workers that die during the
+        drain simply have their task left pending for ``--resume``.
+        """
+        deadline = time.monotonic() + self.config.drain_timeout
+        while time.monotonic() < deadline:
+            busy = [
+                w for w in workers if not w.idle and w.proc.is_alive()
+            ]
+            if not busy:
+                break
+            for conn in _conn_wait(
+                [w.conn for w in busy],
+                timeout=min(self.config.poll_interval * 5, 0.25),
+            ):
+                w = next(x for x in busy if x.conn is conn)
+                try:
+                    tid, status, val = conn.recv()
+                except Exception:  # noqa: BLE001 - dead worker mid-drain
+                    w.release()
+                    continue
+                w.release()
+                if status == "ok" and tid not in self.completed:
+                    self._complete(tid, val)
+        for w in workers:
+            w.stop()
+        workers.clear()
 
     def _run_pool(self, todo: list[int], method: str) -> None:
         cfg = self.config
@@ -362,6 +488,9 @@ class TaskScheduler:
 
         try:
             while outstanding:
+                if self.stop.is_set():
+                    self._drain(workers)
+                    self._interrupt()
                 now = time.monotonic()
                 # 1. Dispatch eligible tasks to idle workers.
                 for w in workers:
@@ -490,6 +619,7 @@ def compare_resilient(
     bank2: Bank,
     params: OrisParams | None = None,
     config: RuntimeConfig | None = None,
+    stop: ShutdownRequest | None = None,
 ) -> ComparisonResult:
     """ORIS comparison with fault-tolerant, checkpointed parallel step 2.
 
@@ -497,6 +627,13 @@ def compare_resilient(
     runs (asserted by the test suite); on unhealthy runs it retries,
     requeues, degrades, and resumes instead of aborting.  Steps 1, 3 and
     4 run in the parent.
+
+    ``stop`` is an optional :class:`ShutdownRequest`; when it trips
+    (typically from a SIGTERM/SIGINT handler installed with
+    :func:`signal_shutdown`), the scheduler drains in-flight tasks into
+    the journal and raises :class:`~repro.runtime.errors.RunInterrupted`
+    -- after which a ``--resume`` run continues exactly where the signal
+    landed.
     """
     params = params or OrisParams()
     config = config or RuntimeConfig()
@@ -552,10 +689,12 @@ def compare_resilient(
             journal.create(fingerprint)
     try:
         scheduler = TaskScheduler(
-            payload, ranges, config, counters, journal, completed
+            payload, ranges, config, counters, journal, completed, stop=stop
         )
         results = scheduler.run()
     finally:
+        # Also the interrupted path: every journal line is fsynced at
+        # append time, so closing here flushes the final state to disk.
         if journal is not None:
             journal.close()
     table = merge_range_results(results, counters)

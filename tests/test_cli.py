@@ -66,9 +66,10 @@ class TestRun:
         assert len(read_m8(out)) >= 1
 
     def test_missing_file_error(self, tmp_path, capsys):
+        # Unreadable input is an *input* failure (exit 3), not usage.
         rc = run([str(tmp_path / "no.fa"), str(tmp_path / "no2.fa")])
-        assert rc == 2
-        assert "error reading banks" in capsys.readouterr().err
+        assert rc == 3
+        assert "input error" in capsys.readouterr().err
 
     def test_word_size_flag(self, fasta_pair, tmp_path):
         out = tmp_path / "w8.m8"
@@ -147,3 +148,187 @@ class TestResilientRuntime:
                   "--max-retries", "1", "-o", str(out)])
         assert rc == 0
         assert len(read_m8(out)) >= 1
+
+
+class TestExitCodes:
+    """The documented exit-code taxonomy (see --help epilog)."""
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            run(["--help"])
+        assert exc_info.value.code == 0
+        out = capsys.readouterr().out
+        for code in ("0 ", "2 ", "3 ", "4 ", "5 ", "130 "):
+            assert code in out
+        assert "exit codes" in out.lower()
+
+    def test_usage_error_is_2(self, fasta_pair, capsys):
+        rc = run([*fasta_pair, "--resume"])
+        assert rc == 2
+
+    def test_corrupt_fasta_is_3(self, fasta_pair, tmp_path, capsys):
+        bad = tmp_path / "bad.fa"
+        bad.write_text("ACGT\nnot a header\n")
+        rc = run([str(bad), fasta_pair[1]])
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "error[data-before-header]" in err
+        assert "Traceback" not in err
+
+    def test_ambiguous_fasta_strict_is_3(self, fasta_pair, tmp_path, capsys):
+        iffy = tmp_path / "iffy.fa"
+        iffy.write_text(">s1\nACGTRYSWACGTACGT\n")
+        rc = run([fasta_pair[0], str(iffy)])
+        assert rc == 3
+        assert "ambiguous-nucleotides" in capsys.readouterr().err
+
+    def test_ambiguous_fasta_lenient_is_0(self, fasta_pair, tmp_path, capsys):
+        iffy = tmp_path / "iffy.fa"
+        iffy.write_text(">s1\nACGTRYSWACGTACGT\n")
+        rc = run([fasta_pair[0], str(iffy), "--ingest", "lenient"])
+        assert rc == 0
+        assert "warning[ambiguous-nucleotides]" in capsys.readouterr().err
+
+    def test_corrupt_checkpoint_is_5(self, fasta_pair, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        first = tmp_path / "first.m8"
+        rc = run([*fasta_pair, "--workers", "2", "--checkpoint", str(ckpt),
+                  "-o", str(first)])
+        assert rc == 0
+        journal = ckpt / "journal.jsonl"
+        lines = journal.read_text().splitlines()
+        # Corrupt a *committed* journal line (not the tail, which resume
+        # tolerates as a torn write): flip the payload of line 2.
+        lines[1] = lines[1][:-20] + '"garbage": "x"}'
+        journal.write_text("\n".join(lines) + "\n")
+        rc = run([*fasta_pair, "--workers", "2", "--checkpoint", str(ckpt),
+                  "--resume", "-o", str(tmp_path / "second.m8")])
+        assert rc == 5
+        err = capsys.readouterr().err
+        assert "corrupt" in err.lower()
+        assert "Traceback" not in err
+
+    def test_hopeless_memory_budget_is_4(self, fasta_pair, capsys):
+        rc = run([*fasta_pair, "--memory-budget", "1M"])
+        assert rc == 4
+        err = capsys.readouterr().err
+        assert "resource exhausted" in err
+        assert "Traceback" not in err
+
+    def test_bad_memory_budget_syntax_is_2(self, fasta_pair, capsys):
+        rc = run([*fasta_pair, "--memory-budget", "lots"])
+        assert rc == 2
+
+
+class TestGovernor:
+    """--memory-budget planning and degradation through the CLI."""
+
+    @pytest.fixture
+    def big_subject_pair(self, tmp_path, rng):
+        # Subject much larger than MIN_TILE_NT so degradation has room to
+        # pick a real tile size; a planted core guarantees alignments that
+        # straddle tiles see identical results either way.
+        core = random_dna(rng, 400)
+        b1 = Bank.from_strings([("q1", core)])
+        parts = [random_dna(rng, 30_000), core, random_dna(rng, 30_000),
+                 core, random_dna(rng, 30_000)]
+        b2 = Bank.from_strings([("s1", "".join(parts))])
+        p1, p2 = tmp_path / "q.fa", tmp_path / "s.fa"
+        b1.to_fasta(p1)
+        b2.to_fasta(p2)
+        return str(p1), str(p2)
+
+    def test_roomy_budget_stays_monolithic(self, fasta_pair, tmp_path, capsys):
+        rc = run([*fasta_pair, "--memory-budget", "8G", "--stats",
+                  "-o", str(tmp_path / "m.m8")])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "# governor: mode=monolithic" in err
+
+    def test_tight_budget_degrades_to_tiled(self, big_subject_pair, tmp_path,
+                                            capsys):
+        from repro.runtime.governor import (
+            BASELINE_BYTES,
+            estimate_index_bytes,
+        )
+
+        ref = tmp_path / "ref.m8"
+        out = tmp_path / "tiled.m8"
+        assert run([*big_subject_pair, "-o", str(ref)]) == 0
+        # Admit the query index plus a ~25k nt tile: forces tiling.
+        budget = BASELINE_BYTES + estimate_index_bytes(400 + 25_000)
+        rc = run([*big_subject_pair, "--memory-budget", str(budget),
+                  "--stats", "-o", str(out)])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "# governor: mode=tiled" in err
+        assert "degrading to tiled indexing" in err
+        assert "memory_degradations=1" in err
+        assert "tiles=" in err and "tiles=0" not in err
+        # Degraded execution must find the same alignments.  E-values of
+        # windowed sequences are computed against the window length (a
+        # documented, conservative difference -- see compare_tiled), so
+        # compare every field except the e-value.
+        def alignment_keys(path):
+            return [
+                (r.query_id, r.subject_id, r.pident, r.length, r.mismatches,
+                 r.gap_openings, r.q_start, r.q_end, r.s_start, r.s_end,
+                 r.bit_score)
+                for r in read_m8(path)
+            ]
+
+        assert alignment_keys(out) == alignment_keys(ref)
+
+    def test_degradation_disables_runtime_with_warning(
+        self, big_subject_pair, tmp_path, capsys
+    ):
+        from repro.runtime.governor import (
+            BASELINE_BYTES,
+            estimate_index_bytes,
+        )
+
+        budget = BASELINE_BYTES + estimate_index_bytes(400 + 25_000)
+        rc = run([*big_subject_pair, "--memory-budget", str(budget),
+                  "--workers", "2", "-o", str(tmp_path / "x.m8")])
+        assert rc == 0
+        assert "ignor" in capsys.readouterr().err  # ignored/ignoring warning
+
+    def test_budget_requires_oris(self, fasta_pair, capsys):
+        rc = run([*fasta_pair, "--engine", "blastn",
+                  "--memory-budget", "1G"])
+        assert rc == 2
+
+    def test_stats_report_rss(self, fasta_pair, tmp_path, capsys):
+        rc = run([*fasta_pair, "--stats", "-o", str(tmp_path / "r.m8")])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "# resources: rss_peak=" in err
+        assert "rss_peak=0B" not in err
+
+
+class TestIngestFlag:
+    def test_skip_policy_drops_bad_records(self, tmp_path, rng, capsys):
+        core = random_dna(rng, 200)
+        good = Bank.from_strings([("q1", core)])
+        q = tmp_path / "q.fa"
+        good.to_fasta(q)
+        s = tmp_path / "s.fa"
+        s.write_text(f">junk\nACGT!!!!\n>s1\n{core}\n")
+        out = tmp_path / "o.m8"
+        rc = run([str(q), str(s), "--ingest", "skip", "-o", str(out)])
+        assert rc == 0
+        recs = read_m8(out)
+        assert recs and all(r.subject_id == "s1" for r in recs)
+
+    def test_gzip_input_end_to_end(self, tmp_path, rng):
+        import gzip
+
+        core = random_dna(rng, 200)
+        q = tmp_path / "q.fa"
+        Bank.from_strings([("q1", core)]).to_fasta(q)
+        sgz = tmp_path / "s.fa.gz"
+        sgz.write_bytes(gzip.compress(f">s1\n{core}\n".encode()))
+        out = tmp_path / "o.m8"
+        rc = run([str(q), str(sgz), "-o", str(out)])
+        assert rc == 0
+        assert read_m8(out)

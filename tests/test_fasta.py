@@ -1,5 +1,6 @@
 """Tests for the FASTA reader/writer (repro.io.fasta)."""
 
+import gzip
 import io
 
 import pytest
@@ -11,6 +12,7 @@ from repro.io.fasta import (
     FastaRecord,
     format_fasta,
     iter_fasta,
+    iter_fasta_tolerant,
     read_fasta,
     write_fasta,
 )
@@ -66,6 +68,99 @@ class TestParsing:
     def test_type_error_on_bad_source(self):
         with pytest.raises(TypeError):
             read_fasta(12345)
+
+
+class TestEdgeCases:
+    """Byte-level oddities every real-world FASTA eventually exhibits.
+
+    The canonical form ``>a\\nACGT\\nACGT\\n`` and each variant below must
+    parse to the *same* records.
+    """
+
+    CANONICAL = [("a", "ACGTACGT")]
+
+    def parse_bytes(self, payload: bytes):
+        return [tuple(r) for r in read_fasta(io.BytesIO(payload))]
+
+    def test_final_record_without_trailing_newline(self):
+        assert self.parse_bytes(b">a\nACGT\nACGT") == self.CANONICAL
+
+    def test_crlf_line_endings(self):
+        assert self.parse_bytes(b">a\r\nACGT\r\nACGT\r\n") == self.CANONICAL
+
+    def test_crlf_without_trailing_newline(self):
+        assert self.parse_bytes(b">a\r\nACGT\r\nACGT") == self.CANONICAL
+
+    def test_blank_lines_inside_record(self):
+        assert self.parse_bytes(b"\n>a\n\nACGT\n\n\nACGT\n\n") == self.CANONICAL
+
+    def test_internal_whitespace_in_sequence_lines(self):
+        assert self.parse_bytes(b">a\nAC GT\nAC\tGT\n") == self.CANONICAL
+
+    def test_utf8_bom(self):
+        assert self.parse_bytes(b"\xef\xbb\xbf>a\nACGT\nACGT\n") == self.CANONICAL
+
+    def test_gzip_file_transparently_decompressed(self, tmp_path):
+        path = tmp_path / "x.fa.gz"
+        path.write_bytes(gzip.compress(b">a\nACGT\nACGT\n"))
+        assert [tuple(r) for r in read_fasta(path)] == self.CANONICAL
+
+    def test_gzip_with_crlf_and_no_trailing_newline(self, tmp_path):
+        path = tmp_path / "x.fa.gz"
+        path.write_bytes(gzip.compress(b">a\r\nACGT\r\nACGT"))
+        assert [tuple(r) for r in read_fasta(path)] == self.CANONICAL
+
+    def test_plain_file_with_gz_suffix(self, tmp_path):
+        # Sniffing goes by magic bytes, not the file name.
+        path = tmp_path / "notreally.fa.gz"
+        path.write_bytes(b">a\nACGT\nACGT\n")
+        assert [tuple(r) for r in read_fasta(path)] == self.CANONICAL
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(FastaError) as exc_info:
+            read_fasta(io.StringIO(">ok\nACGT\nstray\n>\nACGT\n"))
+        assert exc_info.value.lineno == 4
+        assert exc_info.value.code == "empty-header"
+
+
+class TestTolerantIterator:
+    def test_problems_reported_not_raised(self):
+        seen = []
+
+        def on_problem(lineno, code, message):
+            seen.append((lineno, code))
+            return True
+
+        records = list(
+            iter_fasta_tolerant(
+                io.StringIO("junk\n>a\nACGT\n>\norphan\n>b\nTT\n"), on_problem
+            )
+        )
+        assert [(r.name, r.sequence) for r, _ in records] == [
+            ("a", "ACGT"), ("b", "TT"),
+        ]
+        # line 1: leading junk; line 4: empty header; line 5: the orphaned
+        # sequence line following the skipped empty-header record.
+        assert seen == [
+            (1, "data-before-header"),
+            (4, "empty-header"),
+            (5, "data-before-header"),
+        ]
+
+    def test_header_linenos_reported(self):
+        records = list(
+            iter_fasta_tolerant(
+                io.StringIO("\n>a\nACGT\n>b\nTT\n"), lambda *a: True
+            )
+        )
+        assert [lineno for _, lineno in records] == [2, 4]
+
+    def test_callback_can_abort(self):
+        def on_problem(lineno, code, message):
+            raise FastaError(message, lineno=lineno, code=code)
+
+        with pytest.raises(FastaError):
+            list(iter_fasta_tolerant(io.StringIO("junk\n"), on_problem))
 
 
 class TestRoundTrip:

@@ -90,6 +90,76 @@ class TestEntropy:
         assert entropy_mask(encode("")).shape == (0,)
 
 
+class TestDegenerateInputs:
+    """Filters must handle pathological inputs without crashing or
+    masking spuriously: empty sequences, all-N records (every code is the
+    INVALID sentinel after encoding), and sequences shorter than the
+    scoring window."""
+
+    def test_dust_empty_input(self):
+        assert dust_scores(encode("")).shape == (0,)
+        assert dust_mask(encode("")).shape == (0,)
+
+    def test_dust_all_n_sequence(self):
+        codes = encode("N" * 200)
+        scores = dust_scores(codes)
+        assert scores.shape == (200,)
+        assert (scores == 0.0).all()  # no valid triplet, nothing to score
+        assert not dust_mask(codes).any()
+
+    def test_dust_shorter_than_window(self, rng):
+        seq = random_dna(rng, 20)  # window default is 64
+        scores = dust_scores(encode(seq))
+        assert scores.shape == (20,)
+        assert np.isfinite(scores).all()
+        assert not dust_mask(encode(seq)).any()
+
+    def test_dust_shorter_than_triplet(self):
+        for seq in ("", "A", "AC"):
+            mask = dust_mask(encode(seq))
+            assert mask.shape == (len(seq),)
+            assert not mask.any()
+
+    def test_dust_short_repeat_still_masked(self):
+        # Shorter than the window but long enough to be pure repeat: the
+        # partial-window score must still catch it.
+        assert dust_mask(encode("A" * 40)).any()
+
+    def test_entropy_all_n_sequence(self):
+        codes = encode("N" * 200)
+        scores = entropy_scores(codes)
+        assert (scores == 2.0).all()  # empty windows score max entropy
+        assert not entropy_mask(codes).any()
+
+    def test_entropy_shorter_than_window(self, rng):
+        seq = random_dna(rng, 10)
+        scores = entropy_scores(encode(seq))
+        assert scores.shape == (10,)
+        assert np.isfinite(scores).all()
+
+    def test_entropy_short_input_never_masks(self, rng):
+        # Half-full-window guard: windows mostly hanging off the sequence
+        # start cannot mask, even when their few characters are skewed.
+        assert not entropy_mask(encode("AAAA")).any()
+
+    def test_bank_with_empty_and_all_n_sequences(self, rng):
+        b = Bank.from_strings(
+            [("r", random_dna(rng, 300)), ("n", "N" * 80), ("tiny", "AC")]
+        )
+        for mask in (dust_mask(b), entropy_mask(b)):
+            assert mask.shape == b.seq.shape
+            s, e = b.bounds(1)
+            assert not mask[s:e].any()
+
+    def test_mixed_n_tract_does_not_bridge(self, rng):
+        # A long N tract between two random halves must not cause the
+        # surrounding unique sequence to be masked.
+        seq = random_dna(rng, 200) + "N" * 100 + random_dna(rng, 200)
+        m = dust_mask(encode(seq))
+        assert m[:200].mean() < 0.1
+        assert m[300:].mean() < 0.1
+
+
 class TestDispatch:
     def test_none_returns_none(self, small_bank):
         assert make_filter_mask(small_bank, "none") is None

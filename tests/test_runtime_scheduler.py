@@ -9,6 +9,7 @@ previously completed ranges.
 from __future__ import annotations
 
 import json
+import signal
 
 import pytest
 
@@ -291,3 +292,105 @@ class TestCheckpointResume:
             res = self._run(est_pair, tmp_path / "empty", resume=True)
         assert lines(res) == serial_lines
         assert res.counters.n_resumed == 0
+
+
+class TestGracefulShutdown:
+    """ShutdownRequest / signal_shutdown: the SIGTERM drain path.
+
+    Full process-level signal delivery is covered by
+    ``scripts/ci_resume_smoke.py``; these tests exercise the in-process
+    mechanics directly.
+    """
+
+    def test_pre_tripped_stop_interrupts_immediately(self, est_pair, tmp_path):
+        from repro.runtime.errors import RunInterrupted
+        from repro.runtime.scheduler import ShutdownRequest
+
+        stop = ShutdownRequest()
+        stop.trip(signal.SIGTERM)
+        with pytest.raises(RunInterrupted) as exc_info:
+            compare_resilient(
+                *est_pair,
+                OrisParams(),
+                RuntimeConfig(
+                    n_workers=N_WORKERS,
+                    tasks_per_worker=TASKS_PER_WORKER,
+                    checkpoint_dir=str(tmp_path / "ckpt"),
+                ),
+                stop=stop,
+            )
+        assert exc_info.value.signum == signal.SIGTERM
+        assert "SIGTERM" in str(exc_info.value)
+        assert "--resume" in str(exc_info.value)
+
+    def test_interrupted_run_journal_resumes_exactly(
+        self, est_pair, serial_lines, tmp_path
+    ):
+        from repro.runtime.errors import RunInterrupted
+        from repro.runtime.scheduler import ShutdownRequest
+
+        ckpt = tmp_path / "ckpt"
+        stop = ShutdownRequest()
+        stop.trip(signal.SIGTERM)
+        with pytest.raises(RunInterrupted):
+            compare_resilient(
+                *est_pair,
+                OrisParams(),
+                RuntimeConfig(
+                    n_workers=N_WORKERS,
+                    tasks_per_worker=TASKS_PER_WORKER,
+                    checkpoint_dir=str(ckpt),
+                ),
+                stop=stop,
+            )
+        # The journal header must exist and the resumed run must complete
+        # with output identical to an uninterrupted serial comparison.
+        assert (ckpt / "journal.jsonl").is_file()
+        res = compare_resilient(
+            *est_pair,
+            OrisParams(),
+            RuntimeConfig(
+                n_workers=N_WORKERS,
+                tasks_per_worker=TASKS_PER_WORKER,
+                checkpoint_dir=str(ckpt),
+                resume=True,
+            ),
+        )
+        assert lines(res) == serial_lines
+
+    def test_serial_path_honours_stop(self, est_pair, tmp_path):
+        from repro.runtime.errors import RunInterrupted
+        from repro.runtime.scheduler import ShutdownRequest
+
+        stop = ShutdownRequest()
+        stop.trip(signal.SIGINT)
+        with pytest.raises(RunInterrupted) as exc_info:
+            compare_resilient(
+                *est_pair,
+                OrisParams(),
+                RuntimeConfig(n_workers=1),
+                stop=stop,
+            )
+        assert exc_info.value.signum == signal.SIGINT
+
+    def test_signal_shutdown_trips_and_restores(self):
+        from repro.runtime.scheduler import ShutdownRequest, signal_shutdown
+
+        previous = signal.getsignal(signal.SIGTERM)
+        stop = ShutdownRequest()
+        with signal_shutdown(stop):
+            assert signal.getsignal(signal.SIGTERM) is not previous
+            signal.raise_signal(signal.SIGTERM)
+            assert stop.is_set()
+            assert stop.signum == signal.SIGTERM
+        assert signal.getsignal(signal.SIGTERM) is previous
+
+    def test_run_interrupted_exit_code(self):
+        from repro.runtime.errors import (
+            EXIT_INTERRUPTED,
+            RunInterrupted,
+            exit_code_for,
+        )
+
+        exc = RunInterrupted("stop", signum=signal.SIGTERM, n_completed=3)
+        assert exit_code_for(exc) == EXIT_INTERRUPTED == 130

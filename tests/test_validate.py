@@ -1,0 +1,244 @@
+"""Tests for the validating ingestion layer (repro.io.validate)."""
+
+import gzip
+import io
+
+import pytest
+
+from repro.io.bank import Bank
+from repro.io.validate import (
+    POLICIES,
+    IngestReport,
+    InputDiagnostic,
+    load_bank,
+    validate_records,
+)
+from repro.runtime.errors import InputError
+
+CLEAN = ">s1\nACGTACGT\n>s2\nTTTTCCCC\n"
+
+
+def strict(text):
+    return validate_records(io.StringIO(text), policy="strict")
+
+
+def lenient(text):
+    return validate_records(io.StringIO(text), policy="lenient")
+
+
+def skip(text):
+    return validate_records(io.StringIO(text), policy="skip")
+
+
+class TestCleanInput:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_clean_passes_every_policy(self, policy):
+        records, report = validate_records(io.StringIO(CLEAN), policy=policy)
+        assert [tuple(r) for r in records] == [
+            ("s1", "ACGTACGT"), ("s2", "TTTTCCCC"),
+        ]
+        assert report.ok
+        assert report.n_records == 2
+        assert report.n_dropped == 0
+        assert not report.diagnostics
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            validate_records(io.StringIO(CLEAN), policy="yolo")
+
+    def test_report_summary_is_one_line(self):
+        _, report = strict(CLEAN)
+        assert "\n" not in report.summary()
+        assert "2 record(s) accepted" in report.summary()
+
+
+class TestNormalization:
+    """Transforms applied under *every* policy."""
+
+    def test_lowercase_softmask_uppercased(self):
+        records, report = strict(">s\nacgtACGT\n")
+        assert records[0].sequence == "ACGTACGT"
+        assert report.n_masked_chars == 4
+        assert any(d.code == "normalized" for d in report.warnings)
+
+    def test_uracil_becomes_thymine(self):
+        records, report = strict(">s\nACGU\n")
+        assert records[0].sequence == "ACGT"
+        assert report.n_uracil_chars == 1
+
+    def test_n_is_allowed_silently(self):
+        records, report = strict(">s\nACGTNNNNACGT\n")
+        assert records[0].sequence == "ACGTNNNNACGT"
+        assert report.ok and not report.warnings
+
+    def test_gaps_and_digits_stripped(self):
+        records, report = strict(">s\nAC-GT 12 AC.GT\n")
+        assert records[0].sequence == "ACGTACGT"
+        assert report.n_stripped_chars == 4  # "-", "1", "2", "."
+
+    def test_crlf_matches_unix(self):
+        unix, _ = strict(">s\nACGT\nACGT\n")
+        dos, _ = validate_records(
+            io.BytesIO(b">s\r\nACGT\r\nACGT\r\n"), policy="strict"
+        )
+        assert [tuple(r) for r in dos] == [tuple(r) for r in unix]
+
+    def test_missing_trailing_newline(self):
+        records, _ = strict(">s\nACGT")
+        assert records[0].sequence == "ACGT"
+
+
+class TestStrictErrors:
+    def test_ambiguity_codes_are_errors(self):
+        with pytest.raises(InputError) as exc_info:
+            strict(">s\nACGTRYACGT\n")
+        codes = [d.code for d in exc_info.value.diagnostics]
+        assert "ambiguous-nucleotides" in codes
+
+    def test_illegal_characters_are_errors(self):
+        with pytest.raises(InputError) as exc_info:
+            strict(">s\nACGT!?\n")
+        assert any(
+            d.code == "illegal-characters" for d in exc_info.value.diagnostics
+        )
+
+    def test_duplicate_ids_are_errors(self):
+        with pytest.raises(InputError) as exc_info:
+            strict(">s\nACGT\n>s\nTTTT\n")
+        dup = [d for d in exc_info.value.diagnostics if d.code == "duplicate-id"]
+        assert dup and dup[0].record == "s"
+
+    def test_empty_sequence_is_error(self):
+        with pytest.raises(InputError):
+            strict(">a\n>b\nACGT\n")
+
+    def test_empty_file_is_error(self):
+        with pytest.raises(InputError, match="no valid"):
+            strict("")
+
+    def test_data_before_header_is_error(self):
+        with pytest.raises(InputError) as exc_info:
+            strict("ACGT\n>s\nACGT\n")
+        assert any(
+            d.code == "data-before-header" for d in exc_info.value.diagnostics
+        )
+
+    def test_diagnostics_carry_provenance(self):
+        with pytest.raises(InputError) as exc_info:
+            validate_records(
+                io.StringIO(">ok\nACGT\n>bad\nACGTRY\n"),
+                policy="strict",
+                source_name="probe.fa",
+            )
+        (diag,) = [
+            d for d in exc_info.value.diagnostics
+            if d.code == "ambiguous-nucleotides"
+        ]
+        assert diag.source == "probe.fa"
+        assert diag.line == 3  # the >bad header line
+        assert diag.record == "bad"
+        assert diag.format().startswith("probe.fa:3: error[")
+
+
+class TestLenientSalvage:
+    def test_ambiguity_mapped_to_n(self):
+        records, report = lenient(">s\nACGTRYACGT\n")
+        assert records[0].sequence == "ACGTNNACGT"
+        assert report.ok  # warnings only
+        assert report.n_ambiguous_chars == 2
+
+    def test_illegal_mapped_to_n(self):
+        records, report = lenient(">s\nAC!GT\n")
+        assert records[0].sequence == "ACNGT"
+
+    def test_duplicate_dropped_with_warning(self):
+        records, report = lenient(">s\nACGT\n>s\nTTTT\n")
+        assert len(records) == 1
+        assert report.n_dropped == 1
+        assert any(d.code == "duplicate-id" for d in report.warnings)
+
+    def test_valid_remainder_survives(self):
+        records, report = lenient(">\norphan\n>good\nACGT\n")
+        assert [r.name for r in records] == ["good"]
+        assert records[0].sequence == "ACGT"
+
+    def test_all_records_bad_still_raises(self):
+        with pytest.raises(InputError, match="no valid"):
+            lenient(">a\n>b\n")
+
+    def test_all_ambiguous_record_warned(self):
+        _, report = lenient(">s\nRRRYYY\n")
+        assert any(d.code == "all-ambiguous" for d in report.warnings)
+
+
+class TestSkipPolicy:
+    def test_problem_records_dropped_whole(self):
+        records, report = skip(">bad\nACGTRY\n>good\nACGT\n")
+        assert [r.name for r in records] == ["good"]
+        assert report.n_dropped == 1
+
+    def test_clean_records_unchanged(self):
+        records, _ = skip(CLEAN)
+        assert len(records) == 2
+
+
+class TestFileFormats:
+    def test_gzip_path(self, tmp_path):
+        path = tmp_path / "bank.fa.gz"
+        path.write_bytes(gzip.compress(CLEAN.encode()))
+        records, report = validate_records(path)
+        assert len(records) == 2
+        assert report.source == str(path)
+
+    def test_truncated_gzip_raises_input_error(self, tmp_path):
+        path = tmp_path / "trunc.fa.gz"
+        path.write_bytes(gzip.compress(CLEAN.encode())[:-6])
+        with pytest.raises(InputError) as exc_info:
+            validate_records(path)
+        assert any(d.code == "io-error" for d in exc_info.value.diagnostics)
+
+    def test_missing_file_raises_input_error(self, tmp_path):
+        with pytest.raises(InputError, match="cannot read"):
+            validate_records(tmp_path / "absent.fa")
+
+    def test_utf8_bom_stripped(self, tmp_path):
+        path = tmp_path / "bom.fa"
+        path.write_bytes(b"\xef\xbb\xbf" + CLEAN.encode())
+        records, _ = validate_records(path)
+        assert records[0].name == "s1"
+
+    def test_binary_junk_rejected_without_traceback(self, tmp_path):
+        path = tmp_path / "junk.fa"
+        path.write_bytes(bytes(range(256)))
+        with pytest.raises(InputError):
+            validate_records(path)
+
+
+class TestLoadBank:
+    def test_matches_raw_loader_on_clean_input(self, tmp_path):
+        path = tmp_path / "clean.fa"
+        path.write_text(CLEAN)
+        raw = Bank.from_fasta(path)
+        validated, report = load_bank(path)
+        assert validated.names == raw.names
+        assert (validated.seq == raw.seq).all()
+        assert report.n_records == 2
+
+    def test_bank_from_fasta_policy_parameter(self, tmp_path):
+        path = tmp_path / "mixed.fa"
+        path.write_text(">s\nacgtRY\n")
+        with pytest.raises(InputError):
+            Bank.from_fasta(path, policy="strict")
+        bank = Bank.from_fasta(path, policy="lenient")
+        assert bank.n_sequences == 1
+
+    def test_ingest_report_dataclass_surface(self):
+        report = IngestReport(source="x.fa", policy="strict")
+        report.add("warning", "w", "msg", line=3, record="r")
+        report.add("error", "e", "msg")
+        assert len(report.warnings) == 1
+        assert len(report.errors) == 1
+        assert not report.ok
+        d = report.diagnostics[0]
+        assert isinstance(d, InputDiagnostic)
+        assert "x.fa:3" in d.format()
