@@ -1,0 +1,138 @@
+"""Overhead of the observability layer (metrics + tracing) on step 2+.
+
+The funnel metrics are always on; tracing is opt-in.  This bench runs
+the same comparison (a) with tracing disabled (the default production
+configuration) and (b) with tracing enabled to a scratch JSONL file,
+and reports the relative wall-clock overhead of the fully instrumented
+run.  The acceptance bar is < 5 %: span emission sits outside the inner
+NumPy kernels, so turning everything on must stay in the noise.
+
+Timing uses :func:`repro.eval.time_call`'s min-over-repeats protocol, and
+the results are routed through a :class:`repro.obs.MetricsRegistry`
+(min-mode gauges), so this bench doubles as an integration check for the
+benchmark <-> metrics plumbing.
+
+    python benchmarks/bench_observability_overhead.py            # full tier
+    python benchmarks/bench_observability_overhead.py --quick    # CI tier
+    pytest benchmarks/bench_observability_overhead.py --benchmark-only
+
+``main()`` appends one data point to ``BENCH_step2.json`` at the repo
+root (schema ``scoris-bench/1``) so overhead is tracked across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from _shared import FULL_SCALE, QUICK_SCALE, _cached_bank
+from repro.core import OrisEngine, OrisParams
+from repro.eval import time_call
+from repro.obs import MetricsRegistry, configure_tracing, disable_tracing
+
+#: Acceptance bar on (instrumented - plain) / plain wall time.
+MAX_OVERHEAD = 0.05
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_step2.json"
+
+
+def measure_overhead(
+    scale: float, repeats: int = 5, pair: tuple[str, str] = ("EST1", "EST2")
+) -> dict:
+    """Min-over-repeats wall time, plain vs fully instrumented."""
+    b1 = _cached_bank(pair[0], scale)
+    b2 = _cached_bank(pair[1], scale)
+    engine = OrisEngine(OrisParams())
+    registry = MetricsRegistry()
+
+    def run():
+        return engine.compare(b1, b2)
+
+    # Interleave-free protocol: warm once, then time each configuration
+    # with the minimum over `repeats` calls (robust to scheduler noise).
+    run()
+    disable_tracing()
+    plain = time_call(run, repeats=repeats, registry=registry, name="obs_off")
+    with tempfile.TemporaryDirectory() as tmp:
+        configure_tracing(Path(tmp) / "trace.jsonl")
+        try:
+            traced = time_call(
+                run, repeats=repeats, registry=registry, name="obs_on"
+            )
+        finally:
+            disable_tracing()
+    overhead = traced.wall_seconds / plain.wall_seconds - 1.0
+    n_records = len(plain.value.records)
+    assert n_records == len(traced.value.records)
+    return {
+        "scale": scale,
+        "repeats": repeats,
+        "pair": list(pair),
+        "plain_seconds": plain.wall_seconds,
+        "instrumented_seconds": traced.wall_seconds,
+        "overhead": overhead,
+        "records": n_records,
+        "registry_gauges": {
+            name: registry.value(name)
+            for name in registry.names()
+            if name.startswith("bench.")
+        },
+    }
+
+
+def bench_overhead_quick(benchmark):
+    point = benchmark.pedantic(
+        lambda: measure_overhead(QUICK_SCALE, repeats=3), rounds=1, iterations=1
+    )
+    assert point["overhead"] < MAX_OVERHEAD, (
+        f"observability overhead {point['overhead']:.1%} exceeds "
+        f"{MAX_OVERHEAD:.0%}"
+    )
+    # time_call routed both measurements into the registry.
+    assert point["registry_gauges"]["bench.obs_off.wall_seconds"] > 0
+    assert point["registry_gauges"]["bench.obs_on.wall_seconds"] > 0
+
+
+def append_bench_point(point: dict) -> None:
+    """Append one measurement to BENCH_step2.json (schema scoris-bench/1)."""
+    if BENCH_FILE.is_file():
+        doc = json.loads(BENCH_FILE.read_text(encoding="utf-8"))
+        if doc.get("schema") != "scoris-bench/1":
+            raise SystemExit(f"{BENCH_FILE} has unknown schema {doc.get('schema')!r}")
+    else:
+        doc = {"schema": "scoris-bench/1", "bench": "observability_overhead", "points": []}
+    doc["points"].append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "python": platform.python_version(),
+            **point,
+        }
+    )
+    BENCH_FILE.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    quick = "--quick" in argv
+    scale = QUICK_SCALE if quick else FULL_SCALE
+    point = measure_overhead(scale, repeats=3 if quick else 5)
+    print(
+        f"observability overhead at scale {scale}: "
+        f"plain {point['plain_seconds']:.3f}s, "
+        f"instrumented {point['instrumented_seconds']:.3f}s, "
+        f"overhead {point['overhead']:+.2%} (bar {MAX_OVERHEAD:.0%})"
+    )
+    append_bench_point(point)
+    print(f"appended data point to {BENCH_FILE}")
+    if point["overhead"] >= MAX_OVERHEAD:
+        print("FAIL: overhead above bar", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

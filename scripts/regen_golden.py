@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Regenerate the golden regression corpus under ``tests/golden/``.
+
+Each case directory holds the two input banks (FASTA), the CLI arguments
+that produced the expected output (``cmd.json``), and the byte-exact
+``expected.m8``.  ``tests/test_golden_regression.py`` replays every case
+through :func:`repro.cli.run` and fails on any byte of drift, so run this
+script (and review the diff!) only when an output change is intended:
+
+    PYTHONPATH=src python scripts/regen_golden.py
+
+Inputs are generated deterministically (fixed seeds) so the corpus is
+reproducible from this script alone.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.cli import run  # noqa: E402
+from repro.data.synthetic import (  # noqa: E402
+    Transcriptome,
+    make_est_bank,
+    mutate,
+    random_dna,
+)
+from repro.io.bank import Bank  # noqa: E402
+
+GOLDEN = ROOT / "tests" / "golden"
+
+
+def _est_case() -> tuple[Bank, Bank, list[str]]:
+    """EST-vs-EST comparison with paper-default parameters."""
+    rng = np.random.default_rng(101)
+    tx = Transcriptome.generate(rng, n_genes=8, mean_len=420)
+    b1 = make_est_bank(rng, tx, 16, name_prefix="ESTA")
+    b2 = make_est_bank(rng, tx, 16, name_prefix="ESTB")
+    return b1, b2, ["--sort", "coords"]
+
+
+def _diverged_case() -> tuple[Bank, Bank, list[str]]:
+    """Diverged homologs at a small word size, both strands, no filter."""
+    rng = np.random.default_rng(202)
+    recs1, recs2 = [], []
+    for i in range(5):
+        s = random_dna(rng, 500)
+        recs1.append((f"ref{i}", s))
+        recs2.append((f"div{i}", mutate(rng, s, sub_rate=0.10, indel_rate=0.01)))
+    return (
+        Bank.from_strings(recs1),
+        Bank.from_strings(recs2),
+        ["-W", "9", "--strand", "both", "--filter", "none", "--sort", "coords"],
+    )
+
+
+def _spaced_case() -> tuple[Bank, Bank, list[str]]:
+    """PatternHunter spaced seed over noisy homologs."""
+    rng = np.random.default_rng(303)
+    recs1, recs2 = [], []
+    for i in range(4):
+        s = random_dna(rng, 400)
+        recs1.append((f"qry{i}", s))
+        recs2.append((f"sbj{i}", mutate(rng, s, sub_rate=0.06, indel_rate=0.0)))
+    return (
+        Bank.from_strings(recs1),
+        Bank.from_strings(recs2),
+        [
+            "--spaced-seed",
+            "111010010100110111",
+            "--filter",
+            "none",
+            "--sort",
+            "coords",
+        ],
+    )
+
+
+CASES = {
+    "est_default": _est_case,
+    "diverged_w9_both": _diverged_case,
+    "spaced_seed": _spaced_case,
+}
+
+
+def regenerate() -> None:
+    for name, build in CASES.items():
+        case_dir = GOLDEN / name
+        case_dir.mkdir(parents=True, exist_ok=True)
+        bank1, bank2, args = build()
+        fa1 = case_dir / "bank1.fa"
+        fa2 = case_dir / "bank2.fa"
+        bank1.to_fasta(fa1)
+        bank2.to_fasta(fa2)
+        out = case_dir / "expected.m8"
+        rc = run([str(fa1), str(fa2), "-o", str(out), *args])
+        if rc != 0:
+            raise SystemExit(f"case {name}: CLI exited {rc}")
+        (case_dir / "cmd.json").write_text(
+            json.dumps({"args": args}, indent=2) + "\n", encoding="utf-8"
+        )
+        n_records = sum(1 for _ in out.open())
+        print(f"{name}: {n_records} records -> {out}")
+
+
+if __name__ == "__main__":
+    regenerate()

@@ -397,6 +397,11 @@ class BatchExtensionResult:
     score: np.ndarray  # int64 (n,)
     #: Number of lane-steps executed (profiling/ablation metric: total work)
     steps: int
+    #: Lanes killed by the ordered-seed cutoff during the left scan.
+    cut_left: np.ndarray | None = None
+    #: Lanes killed during the right scan (disjoint from ``cut_left``: the
+    #: right scan only runs on left-scan survivors).
+    cut_right: np.ndarray | None = None
 
 
 def _batch_extend_dir(
@@ -602,4 +607,6 @@ def batch_extend(
         end2=end2,
         score=score,
         steps=lsteps + rsteps,
+        cut_left=lcut,
+        cut_right=rcut,
     )

@@ -198,8 +198,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--stats", action="store_true",
-        help="print per-step timings, work counters, ingestion and "
-        "resource-governor reports to stderr",
+        help="print per-step timings, work counters, the hit/extension "
+        "funnel, ingestion and resource-governor reports to stderr",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a JSONL trace of pipeline spans (one event per "
+        "span close, with pid/parent/depth/duration) to FILE; worker "
+        "processes append to the same file",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE", dest="metrics_out",
+        help="write a machine-readable JSON metrics snapshot (funnel "
+        "counts, per-step timings, histograms) to FILE",
+    )
+    parser.add_argument(
+        "--profile", choices=("none", "cprofile"), default="none",
+        help="profile the run with cProfile: each process dumps pstats "
+        "into --profile-out and a merged top-25 report is printed to "
+        "stderr (default: none)",
+    )
+    parser.add_argument(
+        "--profile-out", default=".scoris-profile", metavar="DIR",
+        help="directory for per-process .pstats dumps under --profile "
+        "(default: .scoris-profile)",
     )
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
@@ -245,7 +267,14 @@ def run(argv: list[str] | None = None) -> int:
     """
     args = build_parser().parse_args(argv)
     try:
-        return _execute(args)
+        try:
+            return _execute(args)
+        finally:
+            # The tracer is module-global state; never leak it past one
+            # CLI invocation (tests call run() many times per process).
+            from .obs import disable_tracing
+
+            disable_tracing()
     except InputError as exc:
         _print_diagnostics(exc.diagnostics)
         print(f"scoris-n: input error: {exc}", file=sys.stderr)
@@ -303,13 +332,30 @@ def _execute(args) -> int:
     if args.tile_overlap < 0:
         return _fail_usage("--tile-overlap must be >= 0")
 
+    import os
+
+    from .obs import ObsSpec, configure_tracing, maybe_profile, span
+
+    obs = ObsSpec(
+        trace_path=os.path.abspath(args.trace) if args.trace else None,
+        profile_mode=args.profile,
+        profile_dir=(
+            os.path.abspath(args.profile_out)
+            if args.profile != "none"
+            else None
+        ),
+    )
+    if obs.trace_path is not None:
+        configure_tracing(obs.trace_path)
+
     scoring = ScoringScheme(
         match=args.match,
         mismatch=args.mismatch,
         xdrop_ungapped=args.xdrop,
         xdrop_gapped=args.xdrop_gapped,
     )
-    bank1, bank2, ingest_reports = _load_banks(args)
+    with span("ingest"):
+        bank1, bank2, ingest_reports = _load_banks(args)
 
     if args.engine == "oris":
         engine = OrisEngine(
@@ -395,23 +441,34 @@ def _execute(args) -> int:
             n_tasks = config.n_workers * config.tasks_per_worker
             preflight_disk(args.checkpoint, estimate_checkpoint_bytes(n_tasks))
         stop = ShutdownRequest()
-        with signal_shutdown(stop):
-            result = compare_resilient(bank1, bank2, engine.params, config, stop=stop)
+        with signal_shutdown(stop), maybe_profile(
+            obs.profile_mode, obs.profile_dir, "main"
+        ):
+            result = compare_resilient(
+                bank1, bank2, engine.params, config, stop=stop, obs=obs
+            )
     elif plan is not None and plan.degraded:
         from .core.tiled import compare_tiled
 
-        result = compare_tiled(
-            bank1,
-            bank2,
-            engine.params,
-            tile_nt=plan.tile_nt,
-            overlap=plan.overlap,
-        )
+        with maybe_profile(obs.profile_mode, obs.profile_dir, "main"):
+            result = compare_tiled(
+                bank1,
+                bank2,
+                engine.params,
+                tile_nt=plan.tile_nt,
+                overlap=plan.overlap,
+            )
         result.counters.n_memory_degradations += 1
     else:
-        result = engine.compare(bank1, bank2)
+        with maybe_profile(obs.profile_mode, obs.profile_dir, "main"):
+            result = engine.compare(bank1, bank2)
 
     sample_rss(result.counters)
+    result.metrics.set_gauge(
+        "resources.rss_peak_bytes",
+        float(result.counters.rss_peak_bytes),
+        mode="max",
+    )
     text = format_m8(result.records)
     if args.output == "-":
         sys.stdout.write(text)
@@ -419,9 +476,46 @@ def _execute(args) -> int:
         with open(args.output, "w", encoding="ascii") as fh:
             fh.write(text)
 
+    if args.metrics_out is not None:
+        _write_metrics(args.metrics_out, result)
+    if obs.profile_mode != "none":
+        from .obs import merged_report
+
+        report = merged_report(obs.profile_dir, top=25)
+        if report is not None:
+            print(report, file=sys.stderr)
     if args.stats:
         _print_stats(args, result, plan, ingest_reports, use_runtime)
     return EXIT_OK
+
+
+def _write_metrics(path: str, result) -> None:
+    """Dump the run's metrics as a machine-readable JSON snapshot."""
+    import json
+    from dataclasses import fields as dc_fields
+
+    from .obs import funnel_dict
+
+    t = result.timings
+    snapshot = {
+        "schema": "scoris-metrics/1",
+        "funnel": funnel_dict(result.metrics),
+        "timings_seconds": {
+            "index": t.index,
+            "ungapped": t.ungapped,
+            "gapped": t.gapped,
+            "display": t.display,
+            "total": t.total,
+        },
+        "counters": {
+            f.name: getattr(result.counters, f.name)
+            for f in dc_fields(result.counters)
+        },
+        "metrics": result.metrics.as_dict(),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def _print_stats(args, result, plan, ingest_reports, use_runtime) -> None:
@@ -439,6 +533,10 @@ def _print_stats(args, result, plan, ingest_reports, use_runtime) -> None:
         f"alignments={c.n_alignments} records={c.n_records}",
         file=sys.stderr,
     )
+    if len(result.metrics):
+        from .obs import format_funnel
+
+        print(format_funnel(result.metrics), file=sys.stderr)
     for report in ingest_reports:
         print(f"# ingest[{report.policy}]: {report.summary()}", file=sys.stderr)
     if use_runtime:

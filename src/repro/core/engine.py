@@ -44,6 +44,7 @@ from ..index.asymmetric import build_asymmetric_indexes
 from ..index.seed_index import CsrSeedIndex
 from ..io.bank import Bank
 from ..io.m8 import M8Record
+from ..obs import MetricsRegistry, span
 from .gapped_stage import run_gapped_stage
 from .pairs import iter_pair_chunks
 from .params import OrisParams
@@ -103,6 +104,9 @@ class ComparisonResult:
     timings: StepTimings
     counters: WorkCounters
     params: OrisParams = field(repr=False, default=None)  # type: ignore[assignment]
+    #: Fine-grained observability metrics (funnel counters, histograms);
+    #: superset of :class:`WorkCounters`, see :mod:`repro.obs.metrics`.
+    metrics: MetricsRegistry = field(repr=False, default_factory=MetricsRegistry)
 
 
 class OrisEngine:
@@ -139,40 +143,65 @@ class OrisEngine:
         p = self.params
         timings = StepTimings()
         counters = WorkCounters()
+        registry = MetricsRegistry()
         stats = karlin_params(p.scoring)
+        strand = "minus" if minus else "plus"
 
         # ---- Step 1: indexing ----------------------------------------- #
         t0 = time.perf_counter()
-        index1, index2 = self._build_indexes(bank1, bank2)
+        with span("step1.index", strand=strand):
+            index1, index2 = self._build_indexes(bank1, bank2)
+        index1.record_metrics(registry, "bank1")
+        index2.record_metrics(registry, "bank2")
         timings.index = time.perf_counter() - t0
+        registry.set_gauge("time.step1_index_seconds", timings.index, mode="sum")
 
         # ---- Step 2: hit extensions ------------------------------------ #
         t0 = time.perf_counter()
         s1_threshold = self._resolve_hsp_min_score(bank1, bank2, stats)
-        table = self._ungapped_stage(index1, index2, s1_threshold, counters)
+        with span("step2.extend", strand=strand) as s:
+            table = self._ungapped_stage(
+                index1, index2, s1_threshold, counters, registry
+            )
+            s.set(n_hsps=len(table))
         counters.n_hsps = len(table)
         timings.ungapped = time.perf_counter() - t0
+        registry.set_gauge(
+            "time.step2_ungapped_seconds", timings.ungapped, mode="sum"
+        )
 
         # ---- Step 3: gapped alignments --------------------------------- #
         t0 = time.perf_counter()
-        alignments = self._gapped_stage(bank1, bank2, table, counters)
+        with span("step3.gapped", strand=strand) as s:
+            alignments = self._gapped_stage(
+                bank1, bank2, table, counters, registry
+            )
+            s.set(n_alignments=len(alignments))
         counters.n_alignments = len(alignments)
+        registry.inc("step3.alignments", len(alignments))
         timings.gapped = time.perf_counter() - t0
+        registry.set_gauge("time.step3_gapped_seconds", timings.gapped, mode="sum")
 
         # ---- Step 4: display ------------------------------------------- #
         t0 = time.perf_counter()
-        records = alignments_to_m8(
-            alignments,
-            bank1,
-            bank2,
-            stats,
-            max_evalue=p.max_evalue,
-            minus_strand=minus,
-            exclude_self=p.exclude_self,
-        )
-        records = sort_records(records, key=p.sort_key)
+        with span("step4.display", strand=strand):
+            records = alignments_to_m8(
+                alignments,
+                bank1,
+                bank2,
+                stats,
+                max_evalue=p.max_evalue,
+                minus_strand=minus,
+                exclude_self=p.exclude_self,
+            )
+            records = sort_records(records, key=p.sort_key)
         counters.n_records = len(records)
+        registry.inc("step4.records", len(records))
+        registry.inc("step4.evalue_filtered", len(alignments) - len(records))
         timings.display = time.perf_counter() - t0
+        registry.set_gauge(
+            "time.step4_display_seconds", timings.display, mode="sum"
+        )
 
         return ComparisonResult(
             records=records,
@@ -180,6 +209,7 @@ class OrisEngine:
             timings=timings,
             counters=counters,
             params=p,
+            metrics=registry,
         )
 
     def _build_indexes(self, bank1: Bank, bank2: Bank) -> tuple[CsrSeedIndex, CsrSeedIndex]:
@@ -218,19 +248,47 @@ class OrisEngine:
         # Never below the seed's own score + 1 (a bare seed is not an HSP).
         return max(s, p.scoring.seed_score(self.params.effective_w) + 1)
 
+    def hsp_table(
+        self,
+        bank1: Bank,
+        bank2: Bank,
+        registry: MetricsRegistry | None = None,
+    ) -> HSPTable:
+        """Run steps 1-2 only and return the raw HSP table.
+
+        Public entry point for tests and tools that study the ungapped
+        funnel (e.g. the differential harness) without paying for the
+        gapped stage.  Pass a :class:`MetricsRegistry` to also collect
+        the step-1/step-2 funnel counters.
+        """
+        if registry is None:
+            registry = MetricsRegistry()
+        stats = karlin_params(self.params.scoring)
+        index1, index2 = self._build_indexes(bank1, bank2)
+        index1.record_metrics(registry, "bank1")
+        index2.record_metrics(registry, "bank2")
+        threshold = self._resolve_hsp_min_score(bank1, bank2, stats)
+        return self._ungapped_stage(
+            index1, index2, threshold, WorkCounters(), registry
+        )
+
     def _ungapped_stage(
         self,
         index1: CsrSeedIndex,
         index2: CsrSeedIndex,
         s1_threshold: int,
         counters: WorkCounters,
+        registry: MetricsRegistry | None = None,
     ) -> HSPTable:
         p = self.params
+        if registry is None:
+            registry = MetricsRegistry()
         spaced = index1.mask is not None
         # Extension offsets always use the seed's *span*; for contiguous
         # seeds span == w.
         w = index1.span
         common = index1.common_codes(index2)
+        registry.inc("step2.seeds_enumerated", common.n_codes)
         table = HSPTable()
         seq1 = index1.bank.seq
         seq2 = index2.bank.seq
@@ -244,6 +302,12 @@ class OrisEngine:
             index1, index2, common, p.chunk_pairs, p.max_occurrences
         ):
             counters.n_pairs += chunk.n_pairs
+            registry.inc("step2.hit_pairs", chunk.n_pairs)
+            # Every hit pair starts exactly one extension lane; tracking
+            # both makes the funnel explicit (and checkable) even though
+            # this implementation never drops a hit before extending.
+            registry.inc("step2.extensions_started", chunk.n_pairs)
+            registry.observe("step2.chunk_pairs", chunk.n_pairs)
             init = (
                 span_initial_score(seq1, seq2, chunk.p1, chunk.p2, w, p.scoring)
                 if spaced
@@ -265,6 +329,12 @@ class OrisEngine:
             )
             counters.ungapped_steps += res.steps
             counters.n_cut += int((~res.kept).sum())
+            registry.inc("step2.cutoff_aborts_left", int(res.cut_left.sum()))
+            registry.inc("step2.cutoff_aborts_right", int(res.cut_right.sum()))
+            registry.inc(
+                "step2.dropped_below_s1",
+                int((res.kept & (res.score < s1_threshold)).sum()),
+            )
             keep = res.kept & (res.score >= s1_threshold)
             s1 = res.start1[keep]
             e1 = res.end1[keep]
@@ -281,7 +351,9 @@ class OrisEngine:
                         fresh[i] = False
                     else:
                         dedup.add(box)
+                registry.inc("step2.dedup_dropped", int((~fresh).sum()))
                 s1, e1, s2, sc = s1[fresh], e1[fresh], s2[fresh], sc[fresh]
+            registry.inc("step2.hsps_kept", int(s1.shape[0]))
             table.append_chunk(s1, e1, s2, sc)
         return table
 
@@ -291,6 +363,7 @@ class OrisEngine:
         bank2: Bank,
         table: HSPTable,
         counters: WorkCounters,
+        registry: MetricsRegistry | None = None,
     ) -> list[GappedAlignment]:
         p = self.params
         return run_gapped_stage(
@@ -302,6 +375,7 @@ class OrisEngine:
             counters=counters,
             min_align_score=p.min_align_score,
             scheduling=p.gapped_scheduling,
+            registry=registry,
         )
 
 
@@ -324,10 +398,13 @@ def _merge_results(
             )
             continue
         setattr(c, name, getattr(plus.counters, name) + getattr(minus.counters, name))
+    metrics = MetricsRegistry()
+    metrics.merge(plus.metrics).merge(minus.metrics)
     return ComparisonResult(
         records=records,
         alignments=plus.alignments + minus.alignments,
         timings=timings,
         counters=c,
         params=params,
+        metrics=metrics,
     )

@@ -21,6 +21,7 @@ from ..align.gapped import BatchGappedResult, batch_gapped_extend
 from ..align.hsp import GappedAlignment, HSPTable
 from ..align.scoring import ScoringScheme
 from ..io.bank import Bank
+from ..obs import MetricsRegistry
 from .containment import AlignmentCatalog
 
 __all__ = ["run_gapped_stage"]
@@ -35,13 +36,18 @@ def run_gapped_stage(
     counters,
     min_align_score: int | None = None,
     scheduling: str = "single",
+    registry: MetricsRegistry | None = None,
 ) -> list[GappedAlignment]:
     """Build gapped alignments from a diagonal-sorted HSP table.
 
     ``counters`` is any object with the :class:`~repro.core.engine.WorkCounters`
     fields touched here (``n_waves``, ``n_skipped_contained``,
-    ``n_gapped_extensions``, ``gapped_steps``).
+    ``n_gapped_extensions``, ``gapped_steps``); ``registry`` optionally
+    collects the same quantities as funnel metrics plus a wave-size
+    histogram.
     """
+    if registry is None:
+        registry = MetricsRegistry()
     s1, e1, s2, sc, diag = table.sorted_by_diagonal()
     n = s1.shape[0]
     catalog = AlignmentCatalog(band_radius)
@@ -50,6 +56,8 @@ def run_gapped_stage(
     seq1, seq2 = bank1.seq, bank2.seq
 
     def extend(chosen: np.ndarray) -> None:
+        registry.inc("step3.extensions", int(chosen.size))
+        registry.observe("step3.wave_hsps", int(chosen.size))
         _extend_wave(
             seq1, seq2, s1, e1, s2, diag, chosen, catalog, counters,
             scoring, band_radius, min_align_score,
@@ -60,8 +68,10 @@ def run_gapped_stage(
             hd, hs1, he1 = int(diag[h]), int(s1[h]), int(e1[h])
             if catalog.covers_hsp(hs1, he1, hd):
                 counters.n_skipped_contained += 1
+                registry.inc("step3.skipped_contained")
                 continue
             counters.n_waves += 1
+            registry.inc("step3.waves")
             extend(np.asarray([h], dtype=np.int64))
         return catalog.alignments
 
@@ -72,8 +82,11 @@ def run_gapped_stage(
         # would have skipped (their results are then deduplicated or
         # filtered here), but runs the DP at full lane parallelism.
         counters.n_waves = 1
+        registry.inc("step3.waves")
         extend(np.arange(n, dtype=np.int64))
-        kept = _filter_contained(catalog.alignments, band_radius, counters)
+        kept = _filter_contained(
+            catalog.alignments, band_radius, counters, registry
+        )
         return kept
 
     if scheduling != "waves":
@@ -84,6 +97,7 @@ def run_gapped_stage(
     shift = max(link_slack - 1, 1).bit_length()
     while pending.size:
         counters.n_waves += 1
+        registry.inc("step3.waves")
         selected: list[int] = []
         deferred: list[int] = []
         wave_buckets: dict[int, list[int]] = {}
@@ -92,6 +106,7 @@ def run_gapped_stage(
             hs1, he1 = int(s1[h]), int(e1[h])
             if catalog.covers_hsp(hs1, he1, hd):
                 counters.n_skipped_contained += 1
+                registry.inc("step3.skipped_contained")
                 continue
             b = hd >> shift
             collide = False
@@ -118,7 +133,10 @@ def run_gapped_stage(
 
 
 def _filter_contained(
-    alignments: list[GappedAlignment], band_radius: int, counters
+    alignments: list[GappedAlignment],
+    band_radius: int,
+    counters,
+    registry: MetricsRegistry | None = None,
 ) -> list[GappedAlignment]:
     """Drop alignments whose box and diagonal range lie inside a
     higher-scoring alignment's (the "single" schedule's post-pass).
@@ -128,6 +146,8 @@ def _filter_contained(
     batch) to an alignment contained in the one that would have covered
     it.
     """
+    if registry is None:
+        registry = MetricsRegistry()
     order = sorted(
         range(len(alignments)),
         key=lambda i: (-alignments[i].score, alignments[i].start1),
@@ -138,6 +158,7 @@ def _filter_contained(
         a = alignments[i]
         if catalog.covers_alignment(a):
             counters.n_skipped_contained += 1
+            registry.inc("step3.skipped_contained")
             continue
         catalog.add(a)
         kept_flags[i] = True

@@ -44,6 +44,7 @@ from ..align.ungapped import batch_extend, span_initial_score
 from ..align.hsp import HSPTable
 from ..index.seed_index import CommonCodes, CsrSeedIndex
 from ..io.bank import Bank
+from ..obs import MetricsRegistry, ObsSpec, init_worker_obs, maybe_profile, span
 from .engine import ComparisonResult, OrisEngine, StepTimings, WorkCounters
 from .pairs import iter_pair_chunks
 from .params import OrisParams
@@ -166,6 +167,11 @@ class RangePayload:
     params: OrisParams
     threshold: int
     fault: FaultSpec | None = field(default=None, repr=False)
+    #: Observability configuration shipped to workers (trace path, profile
+    #: mode/dir); ``None`` keeps workers dark.  Carried on the payload so
+    #: spawn-started workers -- which inherit no module state -- re-arm
+    #: tracing/profiling themselves (see :func:`repro.obs.init_worker_obs`).
+    obs: ObsSpec | None = field(default=None, repr=False)
 
     @property
     def n_codes(self) -> int:
@@ -183,6 +189,9 @@ class RangeResult:
     n_pairs: int
     n_cut: int
     steps: int
+    #: Per-task funnel metrics; ``None`` on results restored from legacy
+    #: checkpoint journals (the merge treats that as an empty registry).
+    metrics: MetricsRegistry | None = None
 
     @property
     def n_hsps(self) -> int:
@@ -196,6 +205,7 @@ def build_range_payload(
     params: OrisParams,
     threshold: int,
     fault: FaultSpec | None = None,
+    obs: ObsSpec | None = None,
 ) -> RangePayload:
     """Flatten two indexes + their common codes into a worker payload."""
     spaced = index1.mask is not None
@@ -217,6 +227,7 @@ def build_range_payload(
         params=params,
         threshold=threshold,
         fault=fault,
+        obs=obs,
     )
 
 
@@ -229,7 +240,23 @@ def run_range(payload: RangePayload, lo: int, hi: int) -> RangeResult:
     these HSPs.
     """
     _maybe_trigger_fault(payload.fault, lo)
+    init_worker_obs(payload.obs)
+    obs = payload.obs
+    with maybe_profile(
+        obs.profile_mode if obs else "none",
+        obs.profile_dir if obs else None,
+        f"range-{lo}-{hi}",
+    ):
+        with span("step2.range", lo=lo, hi=hi) as sp:
+            result = _run_range_inner(payload, lo, hi)
+            sp.set(n_pairs=result.n_pairs, n_hsps=result.n_hsps)
+    return result
+
+
+def _run_range_inner(payload: RangePayload, lo: int, hi: int) -> RangeResult:
     params = payload.params
+    registry = MetricsRegistry()
+    registry.inc("step2.seeds_enumerated", hi - lo)
     sub = CommonCodes(
         codes=payload.codes[lo:hi],
         start1=payload.start1[lo:hi],
@@ -249,6 +276,9 @@ def run_range(payload: RangePayload, lo: int, hi: int) -> RangeResult:
         view1, view2, sub, params.chunk_pairs, params.max_occurrences
     ):
         n_pairs += chunk.n_pairs
+        registry.inc("step2.hit_pairs", chunk.n_pairs)
+        registry.inc("step2.extensions_started", chunk.n_pairs)
+        registry.observe("step2.chunk_pairs", chunk.n_pairs)
         init = (
             span_initial_score(
                 payload.seq1, payload.seq2, chunk.p1, chunk.p2, w, params.scoring
@@ -272,7 +302,14 @@ def run_range(payload: RangePayload, lo: int, hi: int) -> RangeResult:
         )
         steps += res.steps
         n_cut += int((~res.kept).sum())
+        registry.inc("step2.cutoff_aborts_left", int(res.cut_left.sum()))
+        registry.inc("step2.cutoff_aborts_right", int(res.cut_right.sum()))
+        registry.inc(
+            "step2.dropped_below_s1",
+            int((res.kept & (res.score < payload.threshold)).sum()),
+        )
         keep = res.kept & (res.score >= payload.threshold)
+        registry.inc("step2.hsps_kept", int(keep.sum()))
         out.append(
             (res.start1[keep], res.end1[keep], res.start2[keep], res.score[keep])
         )
@@ -287,6 +324,7 @@ def run_range(payload: RangePayload, lo: int, hi: int) -> RangeResult:
     return RangeResult(
         start1=s1, end1=e1, start2=s2, score=sc,
         n_pairs=n_pairs, n_cut=n_cut, steps=steps,
+        metrics=registry,
     )
 
 
@@ -352,8 +390,15 @@ def resolve_start_method(preferred: str | None = None) -> str | None:
 def merge_range_results(
     results: dict[int, RangeResult] | list[RangeResult],
     counters: WorkCounters,
+    registry: MetricsRegistry | None = None,
 ) -> HSPTable:
-    """Fold completed range tasks (ascending task order) into one table."""
+    """Fold completed range tasks (ascending task order) into one table.
+
+    Per-task metric registries merge additively into ``registry``
+    (partition-invariant, so the funnel equals a serial run's); results
+    restored from legacy checkpoints may carry no registry and then only
+    contribute their coarse counters.
+    """
     table = HSPTable()
     if isinstance(results, dict):
         ordered = [results[k] for k in sorted(results)]
@@ -363,6 +408,8 @@ def merge_range_results(
         counters.n_pairs += res.n_pairs
         counters.n_cut += res.n_cut
         counters.ungapped_steps += res.steps
+        if registry is not None:
+            registry.merge(getattr(res, "metrics", None))
         table.append_chunk(res.start1, res.end1, res.start2, res.score)
     counters.n_hsps = len(table)
     return table
@@ -376,23 +423,34 @@ def finish_comparison(
     counters: WorkCounters,
     timings: StepTimings,
     stats,
+    registry: MetricsRegistry | None = None,
 ) -> ComparisonResult:
     """Steps 3-4 on a merged HSP table (shared by parallel + resilient)."""
     from ..align.records import alignments_to_m8, sort_records
 
     params = engine.params
+    if registry is None:
+        registry = MetricsRegistry()
     t0 = time.perf_counter()
-    alignments = engine._gapped_stage(bank1, bank2, table, counters)
+    with span("step3.gapped") as sp:
+        alignments = engine._gapped_stage(bank1, bank2, table, counters, registry)
+        sp.set(n_alignments=len(alignments))
     counters.n_alignments = len(alignments)
+    registry.inc("step3.alignments", len(alignments))
     timings.gapped = time.perf_counter() - t0
+    registry.set_gauge("time.step3_gapped_seconds", timings.gapped, mode="sum")
 
     t0 = time.perf_counter()
-    records = alignments_to_m8(
-        alignments, bank1, bank2, stats, max_evalue=params.max_evalue
-    )
-    records = sort_records(records, key=params.sort_key)
+    with span("step4.display"):
+        records = alignments_to_m8(
+            alignments, bank1, bank2, stats, max_evalue=params.max_evalue
+        )
+        records = sort_records(records, key=params.sort_key)
     counters.n_records = len(records)
+    registry.inc("step4.records", len(records))
+    registry.inc("step4.evalue_filtered", len(alignments) - len(records))
     timings.display = time.perf_counter() - t0
+    registry.set_gauge("time.step4_display_seconds", timings.display, mode="sum")
 
     return ComparisonResult(
         records=records,
@@ -400,6 +458,7 @@ def finish_comparison(
         timings=timings,
         counters=counters,
         params=params,
+        metrics=registry,
     )
 
 
@@ -409,6 +468,7 @@ def compare_parallel(
     params: OrisParams | None = None,
     n_workers: int = 2,
     start_method: str | None = None,
+    obs: ObsSpec | None = None,
 ) -> ComparisonResult:
     """ORIS comparison with step 2 parallelised across processes.
 
@@ -424,6 +484,7 @@ def compare_parallel(
     start method is usable.
     """
     params = params or OrisParams()
+    obs = obs if obs is not None else ObsSpec()
     if params.strand != "plus":
         raise ValueError(
             "compare_parallel runs a single strand; call it per strand"
@@ -444,30 +505,41 @@ def compare_parallel(
 
     timings = StepTimings()
     counters = WorkCounters()
+    registry = MetricsRegistry()
     stats = karlin_params(params.scoring)
 
     t0 = time.perf_counter()
-    index1, index2 = engine._build_indexes(bank1, bank2)
+    with span("step1.index"):
+        index1, index2 = engine._build_indexes(bank1, bank2)
+    index1.record_metrics(registry, "bank1")
+    index2.record_metrics(registry, "bank2")
     common = index1.common_codes(index2)
     threshold = engine._resolve_hsp_min_score(bank1, bank2, stats)
     timings.index = time.perf_counter() - t0
+    registry.set_gauge("time.step1_index_seconds", timings.index, mode="sum")
 
     t0 = time.perf_counter()
-    payload = build_range_payload(index1, index2, common, params, threshold)
+    payload = build_range_payload(
+        index1, index2, common, params, threshold, obs=obs
+    )
     ranges = split_code_ranges(common.n_codes, n_workers)
-    if ranges:
-        ctx = mp.get_context(method)
-        with ctx.Pool(
-            processes=len(ranges),
-            initializer=_init_pool_worker,
-            initargs=(payload,),
-        ) as pool:
-            results = pool.map(_pool_worker, ranges)
-    else:
-        results = []
-    table = merge_range_results(results, counters)
+    with span("step2.extend", n_ranges=len(ranges)):
+        if ranges:
+            ctx = mp.get_context(method)
+            with ctx.Pool(
+                processes=len(ranges),
+                initializer=_init_pool_worker,
+                initargs=(payload,),
+            ) as pool:
+                results = pool.map(_pool_worker, ranges)
+        else:
+            results = []
+    table = merge_range_results(results, counters, registry)
     timings.ungapped = time.perf_counter() - t0
+    registry.set_gauge(
+        "time.step2_ungapped_seconds", timings.ungapped, mode="sum"
+    )
 
     return finish_comparison(
-        engine, bank1, bank2, table, counters, timings, stats
+        engine, bank1, bank2, table, counters, timings, stats, registry
     )

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from ..align.records import sort_records
 from ..io.bank import Bank
 from ..io.m8 import M8Record
+from ..obs import MetricsRegistry, span
 from .engine import ComparisonResult, OrisEngine, StepTimings, WorkCounters
 from .params import OrisParams
 
@@ -144,9 +145,13 @@ def compare_tiled(
     engine = OrisEngine(params)
     timings = StepTimings()
     counters = WorkCounters()
+    registry = MetricsRegistry()
     records: list[M8Record] = []
     for tile in iter_subject_tiles(bank2, tile_nt, overlap):
-        res = engine.compare(bank1, tile.bank)
+        with span("tile.compare", tile=counters.n_tiles):
+            res = engine.compare(bank1, tile.bank)
+        registry.merge(res.metrics)
+        registry.observe("tile.records", len(res.records))
         counters.n_tiles += 1
         for name in StepTimings.__dataclass_fields__:
             setattr(timings, name, getattr(timings, name) + getattr(res.timings, name))
@@ -166,10 +171,18 @@ def compare_tiled(
                 records.append(_shift_record(rec, off))
     records = sort_records(records, key=params.sort_key)
     counters.n_records = len(records)
+    # The ownership rule dropped border duplicates after the per-tile
+    # display stage; restate step 4 so the funnel describes the *final*
+    # output (records + evalue_filtered + ownership_filtered == alignments).
+    dropped = registry.value("step4.records", 0) - len(records)
+    registry.counter("step4.records").value = len(records)
+    registry.inc("step4.ownership_filtered", dropped)
+    registry.inc("tile.tiles", counters.n_tiles)
     return ComparisonResult(
         records=records,
         alignments=[],  # per-tile alignments are not retained
         timings=timings,
         counters=counters,
         params=params,
+        metrics=registry,
     )

@@ -26,13 +26,23 @@ class TimedRun:
     cpu_seconds: float
 
 
-def time_call(fn: Callable[[], T], repeats: int = 1) -> TimedRun:
+def time_call(
+    fn: Callable[[], T],
+    repeats: int = 1,
+    registry=None,
+    name: str | None = None,
+) -> TimedRun:
     """Call ``fn`` (``repeats`` times), keep the last value, best times.
 
     The *minimum* over repeats is reported (standard practice for
     wall-clock benchmarking on a shared machine); ``repeats=1`` is the
     default because the reproduction's comparisons take seconds to
     minutes.
+
+    With a :class:`~repro.obs.MetricsRegistry` and a ``name``, the best
+    times are also recorded as min-mode gauges (``bench.<name>.wall_seconds``
+    / ``bench.<name>.cpu_seconds``), so benchmark results and ``--metrics``
+    snapshots share one schema.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -47,4 +57,7 @@ def time_call(fn: Callable[[], T], repeats: int = 1) -> TimedRun:
         cpu = time.process_time() - c0
         best_wall = min(best_wall, wall)
         best_cpu = min(best_cpu, cpu)
+    if registry is not None and name is not None:
+        registry.set_gauge(f"bench.{name}.wall_seconds", best_wall, mode="min")
+        registry.set_gauge(f"bench.{name}.cpu_seconds", best_cpu, mode="min")
     return TimedRun(value=value, wall_seconds=best_wall, cpu_seconds=best_cpu)

@@ -370,6 +370,22 @@ class CsrSeedIndex:
             + self.bank.seq.shape[0] * char_bytes
         )
 
+    def record_metrics(self, registry, label: str) -> None:
+        """Record step-1 shape metrics into a :class:`MetricsRegistry`.
+
+        ``label`` distinguishes the two banks (``"bank1"``/``"bank2"``).
+        The occurrences-per-code histogram is the quantity step 2's
+        cartesian product is quadratic in, so it is the first thing to
+        look at when a comparison is unexpectedly slow.
+        """
+        registry.inc(f"step1.windows_indexed.{label}", self.n_indexed)
+        registry.inc(
+            f"step1.distinct_codes.{label}", int(self.unique_codes.shape[0])
+        )
+        registry.observe_array(
+            f"step1.occurrences_per_code.{label}", self.code_counts
+        )
+
 
 def _unique_runs(sorted_values: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """(unique values, run starts, run lengths) of a sorted array."""

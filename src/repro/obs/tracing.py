@@ -1,0 +1,201 @@
+"""Lightweight tracing spans emitting a JSONL trace.
+
+A *span* wraps a region of work (``with span("step2.extend"): ...``) and
+emits one JSON line when it closes::
+
+    {"name": "step2.extend", "pid": 1234, "span": 3, "parent": 1,
+     "depth": 1, "start": 12.345678, "dur": 0.004213, "attrs": {...}}
+
+Design points:
+
+* **Zero cost when disabled.**  The module-level tracer defaults to
+  disabled; ``span()`` then yields a no-op handle without touching the
+  clock or allocating an event.
+* **Nestable.**  Spans track a per-thread stack, so child spans record
+  their parent's id and depth; the trace reconstructs the call tree.
+* **Process-aware.**  Every event carries the emitting ``pid``.  Worker
+  processes inherit the trace *path* (via :class:`repro.obs.ObsSpec` on
+  the task payload, or fork-copied module state) and lazily reopen the
+  file in append mode under their own pid, so a multiprocess run
+  interleaves complete lines from all workers into one file.  Lines are
+  written with a single ``write()`` of at most a few hundred bytes to an
+  ``O_APPEND`` stream, which POSIX keeps atomic in practice for this
+  size.
+* **Start offsets are per-process.**  ``start`` is seconds since the
+  emitting process configured tracing (monotonic clock), so durations
+  are exact; cross-process alignment is approximate by design.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import IO, Iterator
+
+__all__ = [
+    "Tracer",
+    "configure_tracing",
+    "disable_tracing",
+    "current_trace_path",
+    "span",
+    "read_trace",
+]
+
+
+class _SpanHandle:
+    """Mutable bag for attaching attributes to an open span."""
+
+    __slots__ = ("attrs",)
+
+    def __init__(self) -> None:
+        self.attrs: dict = {}
+
+    def set(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+
+_NOOP_HANDLE = _SpanHandle()
+
+
+class Tracer:
+    """Writes span events for one process to a JSONL file."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = os.fspath(path)
+        self._pid = os.getpid()
+        self._file: IO[str] | None = None
+        self._epoch = time.monotonic()
+        self._next_id = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- internals -------------------------------------------------- #
+
+    def _stack(self) -> list[int]:
+        st = getattr(self._local, "stack", None)
+        if st is None:
+            st = []
+            self._local.stack = st
+        return st
+
+    def _ensure_open(self) -> IO[str]:
+        # After a fork the child inherits this Tracer; give it its own
+        # file object (and id space) so buffered writes never interleave
+        # with the parent's within a line.
+        pid = os.getpid()
+        if self._file is None or self._pid != pid:
+            if self._file is not None and self._pid != pid:
+                try:
+                    self._file.detach()  # type: ignore[union-attr]
+                except Exception:
+                    pass
+            fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            self._file = os.fdopen(fd, "w", encoding="utf-8")
+            self._pid = pid
+            self._local = threading.local()
+            self._lock = threading.Lock()
+        return self._file
+
+    def _emit(self, event: dict) -> None:
+        line = json.dumps(event, separators=(",", ":")) + "\n"
+        with self._lock:
+            f = self._ensure_open()
+            f.write(line)
+            f.flush()
+
+    # -- public API ------------------------------------------------- #
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[_SpanHandle]:
+        stack = self._stack()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        parent = stack[-1] if stack else None
+        depth = len(stack)
+        stack.append(span_id)
+        handle = _SpanHandle()
+        if attrs:
+            handle.attrs.update(attrs)
+        t0 = time.monotonic()
+        try:
+            yield handle
+        finally:
+            dur = time.monotonic() - t0
+            stack.pop()
+            event = {
+                "name": name,
+                "pid": os.getpid(),
+                "span": span_id,
+                "parent": parent,
+                "depth": depth,
+                "start": round(t0 - self._epoch, 9),
+                "dur": round(dur, 9),
+            }
+            if handle.attrs:
+                event["attrs"] = handle.attrs
+            self._emit(event)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                try:
+                    self._file.close()
+                finally:
+                    self._file = None
+
+
+# ------------------------------------------------------------------ #
+# Module-level tracer (what `span()` uses)
+# ------------------------------------------------------------------ #
+
+_tracer: Tracer | None = None
+
+
+def configure_tracing(path: str | os.PathLike[str] | None) -> None:
+    """Enable tracing to ``path`` (or disable with ``None``)."""
+    global _tracer
+    if _tracer is not None:
+        _tracer.close()
+    _tracer = Tracer(path) if path is not None else None
+
+
+def disable_tracing() -> None:
+    configure_tracing(None)
+
+
+def current_trace_path() -> str | None:
+    """The active trace file path, or ``None`` when tracing is off."""
+    return _tracer.path if _tracer is not None else None
+
+
+@contextmanager
+def span(name: str, **attrs) -> Iterator[_SpanHandle]:
+    """Trace a region of work under the module-level tracer.
+
+    No-op (no clock reads, no allocation beyond the shared handle) when
+    tracing is not configured.  Attributes may be passed up front or
+    attached via the yielded handle: ``with span("x") as s: s.set(n=3)``.
+    """
+    tracer = _tracer
+    if tracer is None:
+        yield _NOOP_HANDLE
+        return
+    with tracer.span(name, **attrs) as handle:
+        yield handle
+
+
+def read_trace(path: str | os.PathLike[str]) -> list[dict]:
+    """Parse a JSONL trace file into a list of event dicts (test helper)."""
+    events = []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

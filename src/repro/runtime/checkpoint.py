@@ -32,6 +32,7 @@ from pathlib import Path
 import numpy as np
 
 from ..core.parallel import RangeResult
+from ..obs import MetricsRegistry
 from .errors import CheckpointCorrupt
 
 __all__ = ["CheckpointJournal", "JOURNAL_VERSION"]
@@ -138,6 +139,13 @@ class CheckpointJournal:
                 "n_cut": result.n_cut,
                 "steps": result.steps,
                 "n_hsps": result.n_hsps,
+                # Funnel metrics snapshot (JSON-exact; absent on journals
+                # written before the observability layer existed).
+                "metrics": (
+                    result.metrics.as_dict()
+                    if result.metrics is not None
+                    else None
+                ),
             }
         )
 
@@ -220,5 +228,10 @@ class CheckpointJournal:
                     n_pairs=int(entry["n_pairs"]),
                     n_cut=int(entry["n_cut"]),
                     steps=int(entry["steps"]),
+                    metrics=(
+                        MetricsRegistry.from_dict(entry["metrics"])
+                        if entry.get("metrics") is not None
+                        else None
+                    ),
                 )
         return completed

@@ -58,6 +58,7 @@ from ..core.parallel import (
 )
 from ..core.params import OrisParams
 from ..io.bank import Bank
+from ..obs import MetricsRegistry, ObsSpec, span
 from .checkpoint import CheckpointJournal
 from .errors import PoolUnhealthy, RunInterrupted, TaskPoisoned
 
@@ -237,7 +238,7 @@ def _scheduler_worker(payload: RangePayload, conn) -> None:
 class _Worker:
     """A supervised worker process with its private duplex pipe."""
 
-    __slots__ = ("proc", "conn", "task_id", "deadline")
+    __slots__ = ("proc", "conn", "task_id", "deadline", "assigned_at")
 
     def __init__(self, ctx, payload: RangePayload):
         self.conn, child = ctx.Pipe(duplex=True)
@@ -250,6 +251,7 @@ class _Worker:
         child.close()  # parent copy: recv must see EOF when the child dies
         self.task_id: int | None = None
         self.deadline: float | None = None
+        self.assigned_at: float | None = None
 
     @property
     def idle(self) -> bool:
@@ -257,8 +259,9 @@ class _Worker:
 
     def assign(self, task_id: int, lo: int, hi: int, timeout: float | None) -> None:
         self.task_id = task_id
+        self.assigned_at = time.monotonic()
         self.deadline = (
-            time.monotonic() + timeout if timeout is not None else None
+            self.assigned_at + timeout if timeout is not None else None
         )
         try:
             self.conn.send((task_id, lo, hi))
@@ -268,6 +271,7 @@ class _Worker:
     def release(self) -> None:
         self.task_id = None
         self.deadline = None
+        self.assigned_at = None
 
     def kill(self) -> None:
         if self.proc.is_alive():
@@ -300,11 +304,15 @@ class TaskScheduler:
         journal: CheckpointJournal | None = None,
         completed: dict[int, RangeResult] | None = None,
         stop: ShutdownRequest | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self.payload = payload
         self.tasks = dict(enumerate(ranges))
         self.config = config
         self.counters = counters
+        #: Scheduler-level metrics (queue waits, task durations, retry
+        #: taxonomy); per-task funnel registries travel on the results.
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.journal = journal
         self.completed: dict[int, RangeResult] = dict(completed or {})
         self.skipped: list[int] = []
@@ -349,6 +357,7 @@ class TaskScheduler:
         else:
             if degraded:
                 self.counters.n_degraded += 1
+                self.registry.inc("scheduler.degraded")
             self._complete(task_id, result)
 
     def _poison(self, task_id: int, exc: Exception | str) -> None:
@@ -366,6 +375,7 @@ class TaskScheduler:
         )
         self.skipped.append(task_id)
         self.counters.n_skipped_tasks += 1
+        self.registry.inc("scheduler.skipped_tasks")
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -408,6 +418,7 @@ class TaskScheduler:
                     self._poison(task_id, exc)
                     return
                 self.counters.n_retries += 1
+                self.registry.inc("scheduler.retries")
                 time.sleep(
                     min(
                         self.config.backoff_base * 2**attempt,
@@ -457,9 +468,11 @@ class TaskScheduler:
         workers: list[_Worker] = [
             _Worker(ctx, self.payload) for _ in range(n_procs)
         ]
-        # Ready heap: (eligible_time, seq, task_id).
-        ready: list[tuple[float, int, int]] = [
-            (0.0, next(self._seq), tid) for tid in todo
+        # Ready heap: (eligible_time, seq, task_id, enqueued_at); the
+        # enqueue timestamp feeds the queue-wait histogram at dispatch.
+        enqueue_t = time.monotonic()
+        ready: list[tuple[float, int, int, float]] = [
+            (0.0, next(self._seq), tid, enqueue_t) for tid in todo
         ]
         heapq.heapify(ready)
         pool_failures = 0
@@ -476,14 +489,17 @@ class TaskScheduler:
             n = self._failures[tid] = self._failures.get(tid, 0) + 1
             if n > cfg.max_retries:
                 self.counters.n_quarantined += 1
+                self.registry.inc("scheduler.quarantined")
                 self._run_inline(tid, degraded=True)
                 if tid in self.completed or tid in self.skipped:
                     outstanding.discard(tid)
                 return
             self.counters.n_retries += 1
+            self.registry.inc("scheduler.retries")
+            now = time.monotonic()
             delay = min(cfg.backoff_base * 2 ** (n - 1), cfg.backoff_cap)
             heapq.heappush(
-                ready, (time.monotonic() + delay, next(self._seq), tid)
+                ready, (now + delay, next(self._seq), tid, now)
             )
 
         try:
@@ -496,12 +512,15 @@ class TaskScheduler:
                 for w in workers:
                     if not w.idle or not ready:
                         continue
-                    eligible, _, tid = ready[0]
+                    eligible, _, tid, enqueued = ready[0]
                     if eligible > now:
                         continue
                     heapq.heappop(ready)
                     if tid in self.completed or tid in self.skipped:
                         continue
+                    self.registry.observe(
+                        "scheduler.queue_wait_seconds", now - enqueued
+                    )
                     lo, hi = self.tasks[tid]
                     w.assign(tid, lo, hi, cfg.task_timeout)
                 # 2. Drain results: wait on every worker's pipe at once.
@@ -524,11 +543,17 @@ class TaskScheduler:
                             (w for w in workers if w.task_id == tid), None
                         )
                     )
+                    started = owner.assigned_at if owner is not None else None
                     if owner is not None:
                         owner.release()
                     if tid in self.completed or tid in self.skipped:
                         continue  # stale duplicate: tasks are idempotent
                     if status == "ok":
+                        if started is not None:
+                            self.registry.observe(
+                                "scheduler.task_seconds",
+                                time.monotonic() - started,
+                            )
                         self._complete(tid, val)
                         outstanding.discard(tid)
                     elif owner is not None:
@@ -548,6 +573,7 @@ class TaskScheduler:
                     now = time.monotonic()
                     if not w.proc.is_alive():
                         self.counters.n_crashes += 1
+                        self.registry.inc("scheduler.crashes")
                         tid = w.task_id
                         w.kill()
                         workers[i] = _Worker(ctx, self.payload)
@@ -555,6 +581,7 @@ class TaskScheduler:
                         fail(w, "crash", "worker process died")
                     elif w.deadline is not None and now > w.deadline:
                         self.counters.n_timeouts += 1
+                        self.registry.inc("scheduler.timeouts")
                         tid = w.task_id
                         w.kill()
                         workers[i] = _Worker(ctx, self.payload)
@@ -620,6 +647,7 @@ def compare_resilient(
     params: OrisParams | None = None,
     config: RuntimeConfig | None = None,
     stop: ShutdownRequest | None = None,
+    obs: ObsSpec | None = None,
 ) -> ComparisonResult:
     """ORIS comparison with fault-tolerant, checkpointed parallel step 2.
 
@@ -652,17 +680,22 @@ def compare_resilient(
 
     timings = StepTimings()
     counters = WorkCounters()
+    registry = MetricsRegistry()
     stats = karlin_params(params.scoring)
 
     t0 = time.perf_counter()
-    index1, index2 = engine._build_indexes(bank1, bank2)
+    with span("step1.index"):
+        index1, index2 = engine._build_indexes(bank1, bank2)
+    index1.record_metrics(registry, "bank1")
+    index2.record_metrics(registry, "bank2")
     common = index1.common_codes(index2)
     threshold = engine._resolve_hsp_min_score(bank1, bank2, stats)
     timings.index = time.perf_counter() - t0
+    registry.set_gauge("time.step1_index_seconds", timings.index, mode="sum")
 
     t0 = time.perf_counter()
     payload = build_range_payload(
-        index1, index2, common, params, threshold, fault=config.fault
+        index1, index2, common, params, threshold, fault=config.fault, obs=obs
     )
     ranges = split_code_ranges(
         common.n_codes, config.n_workers * config.tasks_per_worker
@@ -676,6 +709,7 @@ def compare_resilient(
             if journal.exists:
                 completed = journal.load(fingerprint)
                 counters.n_resumed = len(completed)
+                registry.inc("scheduler.resumed", len(completed))
                 journal.open_for_append()
             else:
                 warnings.warn(
@@ -689,17 +723,22 @@ def compare_resilient(
             journal.create(fingerprint)
     try:
         scheduler = TaskScheduler(
-            payload, ranges, config, counters, journal, completed, stop=stop
+            payload, ranges, config, counters, journal, completed,
+            stop=stop, registry=registry,
         )
-        results = scheduler.run()
+        with span("step2.extend", n_tasks=len(ranges)):
+            results = scheduler.run()
     finally:
         # Also the interrupted path: every journal line is fsynced at
         # append time, so closing here flushes the final state to disk.
         if journal is not None:
             journal.close()
-    table = merge_range_results(results, counters)
+    table = merge_range_results(results, counters, registry)
     timings.ungapped = time.perf_counter() - t0
+    registry.set_gauge(
+        "time.step2_ungapped_seconds", timings.ungapped, mode="sum"
+    )
 
     return finish_comparison(
-        engine, bank1, bank2, table, counters, timings, stats
+        engine, bank1, bank2, table, counters, timings, stats, registry
     )

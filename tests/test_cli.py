@@ -332,3 +332,99 @@ class TestIngestFlag:
         rc = run([str(q), str(sgz), "-o", str(out)])
         assert rc == 0
         assert read_m8(out)
+
+
+class TestObservabilityFlags:
+    def test_metrics_json_reports_funnel_with_aborts(
+        self, fasta_pair, tmp_path
+    ):
+        # Acceptance criterion: on an example bank pair the --metrics
+        # snapshot shows a funnel where the ordered-seed cutoff fired.
+        out = tmp_path / "o.m8"
+        metrics = tmp_path / "metrics.json"
+        rc = run([*fasta_pair, "-o", str(out), "--metrics", str(metrics)])
+        assert rc == 0
+        import json
+
+        doc = json.loads(metrics.read_text())
+        assert doc["schema"] == "scoris-metrics/1"
+        funnel = doc["funnel"]
+        aborts = (
+            funnel["step2.cutoff_aborts_left"]
+            + funnel["step2.cutoff_aborts_right"]
+        )
+        assert aborts > 0
+        assert funnel["step2.hit_pairs"] == funnel["step2.extensions_started"]
+        assert funnel["step4.records"] == len(read_m8(out))
+        assert doc["timings_seconds"]["total"] >= 0
+        assert doc["counters"]["n_pairs"] == funnel["step2.hit_pairs"]
+        # The snapshot is loadable back into a consistent registry.
+        from repro.obs import MetricsRegistry, check_funnel
+
+        assert check_funnel(MetricsRegistry.from_dict(doc["metrics"])) == []
+
+    def test_trace_writes_valid_jsonl(self, fasta_pair, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        rc = run(
+            [*fasta_pair, "-o", str(tmp_path / "o.m8"), "--trace", str(trace)]
+        )
+        assert rc == 0
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        names = {e["name"] for e in events}
+        assert {"ingest", "step1.index", "step2.extend"} <= names
+        assert all(e["dur"] >= 0 for e in events)
+        # The module-global tracer must not leak into later invocations.
+        rc = run([*fasta_pair, "-o", str(tmp_path / "o2.m8")])
+        assert rc == 0
+        assert len(trace.read_text().splitlines()) == len(events)
+
+    def test_profile_dumps_and_merged_report(self, fasta_pair, tmp_path, capsys):
+        prof = tmp_path / "prof"
+        rc = run(
+            [
+                *fasta_pair,
+                "-o",
+                str(tmp_path / "o.m8"),
+                "--profile",
+                "cprofile",
+                "--profile-out",
+                str(prof),
+            ]
+        )
+        assert rc == 0
+        assert list(prof.glob("*.pstats"))
+        err = capsys.readouterr().err
+        assert "merged profile" in err
+        assert "cumulative" in err
+
+    def test_stats_prints_funnel_table(self, fasta_pair, capsys):
+        rc = run([*fasta_pair, "--stats", "-o", "/dev/null"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "# funnel:" in err
+        assert "step2 cutoff aborts" in err
+
+    def test_worker_metrics_match_serial(self, fasta_pair, tmp_path):
+        import json
+
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        rc = run([*fasta_pair, "-o", "/dev/null", "--metrics", str(serial)])
+        assert rc == 0
+        rc = run(
+            [
+                *fasta_pair,
+                "-o",
+                "/dev/null",
+                "--workers",
+                "2",
+                "--metrics",
+                str(parallel),
+            ]
+        )
+        assert rc == 0
+        f1 = json.loads(serial.read_text())["funnel"]
+        f2 = json.loads(parallel.read_text())["funnel"]
+        assert f1 == f2

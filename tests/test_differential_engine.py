@@ -1,0 +1,231 @@
+"""Differential fuzzing: the engine's step-2 HSP set vs a brute-force oracle.
+
+The oracle is deliberately naive and independent of the production path:
+it finds every shared ``W``-word by dictionary lookup over the encoded
+sequences, runs its own scalar x-drop extension on every hit *without*
+the ordered-seed cutoff, deduplicates the resulting boxes, and applies
+the ``S1`` floor.  The paper's central claim (section 2.2) is that the
+ordered-seed cutoff produces exactly this set while doing strictly less
+work; hypothesis probes that claim across seed widths, scoring schemes,
+x-drop values, S1 thresholds, and sequences salted with ``N`` runs and
+soft-masked (lower-case) stretches.
+
+The same runs double as the funnel-consistency fuzz for the metrics
+layer: every generated case must satisfy :func:`repro.obs.check_funnel`
+and report a hit-pair count equal to the oracle's cartesian pair count.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.scoring import ScoringScheme
+from repro.core.engine import OrisEngine
+from repro.core.params import OrisParams
+from repro.encoding.codes import INVALID
+from repro.io.bank import Bank
+from repro.obs import MetricsRegistry, check_funnel
+
+# --------------------------------------------------------------------- #
+# Brute-force oracle
+# --------------------------------------------------------------------- #
+
+
+def _xdrop_left(seq1, seq2, p1, p2, scoring, seed_score):
+    """Best left extension of a seed at (p1, p2); no cutoff, no tricks."""
+    score = maxi = seed_score
+    best = 0
+    q1, q2 = p1 - 1, p2 - 1
+    ext = 0
+    while q1 >= 0 and q2 >= 0 and maxi - score < scoring.xdrop_ungapped:
+        c1, c2 = int(seq1[q1]), int(seq2[q2])
+        if c1 >= INVALID or c2 >= INVALID:
+            break
+        if c1 == c2:
+            score += scoring.match
+            if score > maxi:
+                maxi = score
+                best = ext + 1
+        else:
+            score -= scoring.mismatch
+        q1 -= 1
+        q2 -= 1
+        ext += 1
+    return maxi, best
+
+
+def _xdrop_right(seq1, seq2, p1, p2, w, scoring, seed_score):
+    score = maxi = seed_score
+    best = 0
+    q1, q2 = p1 + w, p2 + w
+    ext = 0
+    n1, n2 = seq1.shape[0], seq2.shape[0]
+    while q1 < n1 and q2 < n2 and maxi - score < scoring.xdrop_ungapped:
+        c1, c2 = int(seq1[q1]), int(seq2[q2])
+        if c1 >= INVALID or c2 >= INVALID:
+            break
+        if c1 == c2:
+            score += scoring.match
+            if score > maxi:
+                maxi = score
+                best = ext + 1
+        else:
+            score -= scoring.mismatch
+        q1 += 1
+        q2 += 1
+        ext += 1
+    return maxi, best
+
+
+def _word_positions(seq: np.ndarray, w: int) -> dict[bytes, list[int]]:
+    """Every position whose ``w``-window is all unambiguous nucleotides."""
+    out: dict[bytes, list[int]] = defaultdict(list)
+    for p in range(seq.shape[0] - w + 1):
+        win = seq[p : p + w]
+        if bool((win < INVALID).all()):
+            out[win.tobytes()].append(p)
+    return out
+
+
+def brute_force_hsps(
+    b1: Bank, b2: Bank, w: int, scoring: ScoringScheme, s1_min: int
+) -> tuple[set[tuple[int, int, int, int]], int]:
+    """All distinct HSP boxes with score >= s1_min, plus the hit-pair count.
+
+    A box is ``(start1, end1, start2, score)`` in global (concatenated)
+    coordinates, matching :meth:`repro.align.hsp.HSPTable.columns`.
+    """
+    seq1, seq2 = b1.seq, b2.seq
+    words1 = _word_positions(seq1, w)
+    words2 = _word_positions(seq2, w)
+    seed_score = scoring.seed_score(w)
+    boxes: set[tuple[int, int, int, int]] = set()
+    n_pairs = 0
+    for word, ps2 in words2.items():
+        ps1 = words1.get(word)
+        if ps1 is None:
+            continue
+        for p1 in ps1:
+            for p2 in ps2:
+                n_pairs += 1
+                lmax, loff = _xdrop_left(seq1, seq2, p1, p2, scoring, seed_score)
+                rmax, roff = _xdrop_right(seq1, seq2, p1, p2, w, scoring, seed_score)
+                score = lmax + rmax - seed_score
+                boxes.add((p1 - loff, p1 + w + roff, p2 - loff, score))
+    return {b for b in boxes if b[3] >= s1_min}, n_pairs
+
+
+def engine_hsps(table) -> set[tuple[int, int, int, int]]:
+    s1, e1, s2, sc = table.columns()
+    return {
+        (int(a), int(b), int(c), int(d)) for a, b, c, d in zip(s1, e1, s2, sc)
+    }
+
+
+# --------------------------------------------------------------------- #
+# Generators
+# --------------------------------------------------------------------- #
+
+# Flanks may contain ambiguity codes and soft-masked (lower-case) bases;
+# with filter_kind="none" lower-case must behave exactly like upper-case.
+_NOISY = st.text(alphabet="ACGTacgtN", min_size=0, max_size=40)
+_EXTRA = st.text(alphabet="ACGTacgtN", min_size=5, max_size=60)
+
+
+@st.composite
+def bank_pair(draw) -> tuple[list[tuple[str, str]], list[tuple[str, str]]]:
+    """Two small banks sharing one (possibly mutated) core segment."""
+    core = draw(st.text(alphabet="ACGT", min_size=10, max_size=50))
+    s1 = draw(_NOISY) + core + draw(_NOISY)
+    mut = list(core)
+    n_mut = draw(st.integers(0, max(0, len(core) // 8)))
+    for _ in range(n_mut):
+        i = draw(st.integers(0, len(core) - 1))
+        mut[i] = draw(st.sampled_from("ACGTN"))
+    s2 = draw(_NOISY) + "".join(mut) + draw(_NOISY)
+    seqs1 = [s1] + draw(st.lists(_EXTRA, max_size=2))
+    seqs2 = [s2] + draw(st.lists(_EXTRA, max_size=2))
+    return (
+        [(f"q{i}", s) for i, s in enumerate(seqs1)],
+        [(f"s{i}", s) for i, s in enumerate(seqs2)],
+    )
+
+
+_PARAMS = {
+    "pair": bank_pair(),
+    "w": st.sampled_from([4, 5, 6]),
+    "mismatch": st.sampled_from([2, 3]),
+    "xdrop": st.integers(4, 16),
+    "s1_extra": st.integers(1, 10),
+}
+
+
+def _run_engine(pair, w, mismatch, xdrop, s1_extra, *, ordered_cutoff=True):
+    recs1, recs2 = pair
+    b1 = Bank.from_strings(recs1)
+    b2 = Bank.from_strings(recs2)
+    scoring = ScoringScheme(match=1, mismatch=mismatch, xdrop_ungapped=xdrop)
+    s1_min = scoring.seed_score(w) + s1_extra
+    params = OrisParams(
+        w=w,
+        scoring=scoring,
+        filter_kind="none",
+        hsp_min_score=s1_min,
+        ordered_cutoff=ordered_cutoff,
+    )
+    registry = MetricsRegistry()
+    table = OrisEngine(params).hsp_table(b1, b2, registry)
+    return b1, b2, scoring, s1_min, table, registry
+
+
+# --------------------------------------------------------------------- #
+# The differential tests (>= 200 generated cases between them)
+# --------------------------------------------------------------------- #
+
+
+class TestDifferential:
+    @settings(max_examples=150, deadline=None, derandomize=True)
+    @given(**_PARAMS)
+    def test_ordered_cutoff_equals_brute_force(
+        self, pair, w, mismatch, xdrop, s1_extra
+    ):
+        b1, b2, scoring, s1_min, table, registry = _run_engine(
+            pair, w, mismatch, xdrop, s1_extra
+        )
+        want, n_pairs = brute_force_hsps(b1, b2, w, scoring, s1_min)
+        assert engine_hsps(table) == want
+        # Funnel bookkeeping must agree with the oracle's raw hit count
+        # and be internally consistent on every generated input.
+        assert check_funnel(registry) == []
+        assert registry.value("step2.hit_pairs") == n_pairs
+        hits = registry.value("step2.hit_pairs")
+        exts = registry.value("step2.extensions_started")
+        kept = registry.value("step2.hsps_kept")
+        assert hits >= exts >= kept
+        aborts = registry.value("step2.cutoff_aborts_left") + registry.value(
+            "step2.cutoff_aborts_right"
+        )
+        sub_s1 = registry.value("step2.dropped_below_s1")
+        assert aborts + kept + sub_s1 == exts
+
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    @given(**_PARAMS)
+    def test_dedup_ablation_equals_brute_force(
+        self, pair, w, mismatch, xdrop, s1_extra
+    ):
+        # With the cutoff off the engine extends every duplicate and
+        # deduplicates explicitly -- the oracle's strategy verbatim.
+        b1, b2, scoring, s1_min, table, registry = _run_engine(
+            pair, w, mismatch, xdrop, s1_extra, ordered_cutoff=False
+        )
+        want, n_pairs = brute_force_hsps(b1, b2, w, scoring, s1_min)
+        assert engine_hsps(table) == want
+        assert check_funnel(registry) == []
+        assert registry.value("step2.hit_pairs") == n_pairs
+        # No cutoff: every extension runs to completion.
+        assert registry.value("step2.cutoff_aborts_left") == 0
+        assert registry.value("step2.cutoff_aborts_right") == 0

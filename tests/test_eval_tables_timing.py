@@ -61,6 +61,45 @@ class TestTimeCall:
         assert len(calls) == 3
         assert run.wall_seconds < 0.01
 
+    def test_repeats_take_minimum_when_slow_run_is_last(self):
+        # Regression guard on the aggregation direction: an implementation
+        # that keeps the *last* repeat's time would pass the slow-first
+        # test above but fail here.
+        calls = []
+
+        def fn():
+            calls.append(1)
+            time.sleep(0.01 if len(calls) == 3 else 0.0)
+            return len(calls)
+
+        run = time_call(fn, repeats=3)
+        assert len(calls) == 3
+        assert run.value == 3  # value is from the last run...
+        assert run.wall_seconds < 0.01  # ...but the time is the minimum
+
     def test_invalid_repeats(self):
         with pytest.raises(ValueError):
             time_call(lambda: 1, repeats=0)
+
+    def test_registry_routing_records_min_gauges(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        run = time_call(lambda: 1, repeats=2, registry=registry, name="unit")
+        assert registry.value("bench.unit.wall_seconds") == run.wall_seconds
+        assert registry.value("bench.unit.cpu_seconds") == run.cpu_seconds
+        # Re-timing the same name keeps the best-ever value (min mode),
+        # so repeated bench invocations sharpen rather than overwrite.
+        slow = time_call(
+            lambda: time.sleep(0.01), repeats=1, registry=registry, name="unit"
+        )
+        assert registry.value("bench.unit.wall_seconds") == min(
+            run.wall_seconds, slow.wall_seconds
+        )
+
+    def test_registry_without_name_records_nothing(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        time_call(lambda: 1, registry=registry)
+        assert len(registry) == 0

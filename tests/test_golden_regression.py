@@ -1,0 +1,54 @@
+"""Golden regression corpus: byte-exact m8 output on committed inputs.
+
+Every case under ``tests/golden/`` is replayed through the CLI and the
+output compared byte for byte against the committed ``expected.m8``.
+Any drift -- a scoring change, a sort-order change, a float-formatting
+change -- fails here first.  When a change is *intended*, regenerate the
+corpus with ``python scripts/regen_golden.py`` and review the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import run
+
+GOLDEN = Path(__file__).parent / "golden"
+CASES = sorted(p.name for p in GOLDEN.iterdir() if (p / "cmd.json").is_file())
+
+
+def test_corpus_present():
+    assert len(CASES) >= 3, f"golden corpus incomplete: {CASES}"
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_golden_output_is_byte_stable(case, tmp_path):
+    case_dir = GOLDEN / case
+    args = json.loads((case_dir / "cmd.json").read_text(encoding="utf-8"))["args"]
+    out = tmp_path / "out.m8"
+    rc = run(
+        [
+            str(case_dir / "bank1.fa"),
+            str(case_dir / "bank2.fa"),
+            "-o",
+            str(out),
+            *args,
+        ]
+    )
+    assert rc == 0
+    expected = (case_dir / "expected.m8").read_bytes()
+    got = out.read_bytes()
+    assert got == expected, (
+        f"golden case {case!r} drifted "
+        f"({len(got.splitlines())} vs {len(expected.splitlines())} records); "
+        "if intended, regenerate with scripts/regen_golden.py"
+    )
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_golden_case_is_nontrivial(case):
+    # An empty expected.m8 would make the byte comparison vacuous.
+    assert (GOLDEN / case / "expected.m8").stat().st_size > 0

@@ -96,3 +96,25 @@ class TestCompareTiled:
     def test_both_strand_rejected(self, est_pair):
         with pytest.raises(ValueError):
             compare_tiled(*est_pair, OrisParams(strand="both"))
+
+
+class TestTiledFunnelMetrics:
+    def test_funnel_consistent_after_ownership_restatement(self, rng):
+        # Border duplicates are dropped by the ownership rule *after* the
+        # per-tile display stage; compare_tiled restates step 4 so the
+        # funnel identities describe the final output.
+        from repro.obs import check_funnel, funnel_dict
+
+        qs = [(f"q{i}", random_dna(rng, 600)) for i in range(3)]
+        subject = "".join(mutate(rng, s, 0.04) for _, s in qs) * 3
+        b1 = Bank.from_strings(qs)
+        b2 = Bank.from_strings([("chr", subject)])
+        res = compare_tiled(
+            b1, b2, OrisParams(filter_kind="none"), tile_nt=2000, overlap=400
+        )
+        assert res.counters.n_tiles > 1
+        f = funnel_dict(res.metrics)
+        assert check_funnel(res.metrics) == []
+        assert f["step4.records"] == len(res.records)
+        assert f["step4.ownership_filtered"] > 0
+        assert res.metrics.value("tile.tiles") == res.counters.n_tiles
