@@ -18,7 +18,11 @@ boundaries (no fault injection, no mocks):
        journal, and exit with the documented code 130.
 
   3. re-run with ``--resume`` and assert the output file is byte-identical
-     to the uninterrupted serial run.
+     to the uninterrupted serial run;
+  4. assert no ``/dev/shm/scoris_*`` shared-memory block outlives its
+     scenario: the graceful SIGTERM drain must unlink its own arena on
+     the way out, and the SIGKILL orphan (nothing *can* unlink there)
+     must be reaped by the next run's stale-segment sweep.
 
 Exit status 0 on success; non-zero with a diagnostic otherwise.
 Run from the repository root with ``PYTHONPATH=src``.
@@ -78,6 +82,30 @@ def env() -> dict[str, str]:
     return e
 
 
+def scoris_shm_blocks() -> set[str]:
+    """Names of our shared-memory blocks currently in /dev/shm."""
+    from repro.runtime.shm import arena_prefix, shm_dir
+
+    d = shm_dir()
+    if d is None:  # platform without a visible shm filesystem
+        return set()
+    prefix = arena_prefix() + "_"
+    return {p.name for p in Path(d).iterdir() if p.name.startswith(prefix)}
+
+
+def check_no_shm_leak(label: str, baseline: set[str]) -> int:
+    """Fail if any scoris shm block beyond *baseline* is still alive."""
+    leaked = scoris_shm_blocks() - baseline
+    if leaked:
+        print(
+            f"[smoke:{label}] ERROR: leaked shared-memory blocks in "
+            f"/dev/shm: {sorted(leaked)}"
+        )
+        return 1
+    print(f"[smoke:{label}] OK: no shared-memory blocks leaked", flush=True)
+    return 0
+
+
 def journal_task_lines(journal: Path) -> int:
     if not journal.is_file():
         return -1  # no journal yet (header not written)
@@ -93,6 +121,7 @@ def run_scenario(
     fa2: Path,
     ref: Path,
     tmp: Path,
+    shm_baseline: set[str],
 ) -> int:
     """Kill one checkpointed run with *sig*, resume, compare to *ref*."""
     out = tmp / f"resumed_{label}.m8"
@@ -121,12 +150,16 @@ def run_scenario(
                 f"tasks; run exited {rc}",
                 flush=True,
             )
-            if sig == signal.SIGTERM and rc != EXIT_INTERRUPTED:
-                print(
-                    f"[smoke:{label}] ERROR: graceful shutdown should exit "
-                    f"{EXIT_INTERRUPTED}, got {rc}"
-                )
-                return 1
+            if sig == signal.SIGTERM:
+                if rc != EXIT_INTERRUPTED:
+                    print(
+                        f"[smoke:{label}] ERROR: graceful shutdown should "
+                        f"exit {EXIT_INTERRUPTED}, got {rc}"
+                    )
+                    return 1
+                # The drain path must unlink its own arena on the way out.
+                if check_no_shm_leak(label + ":drain", shm_baseline):
+                    return 1
             break
         if proc.poll() is not None:
             break
@@ -175,7 +208,9 @@ def run_scenario(
         )
         return 1
     print(f"[smoke:{label}] OK: resumed output is byte-identical", flush=True)
-    return 0
+    # A SIGKILLed run cannot clean up after itself; the resume run's
+    # stale-segment sweep must have reaped its orphan by now.
+    return check_no_shm_leak(label, shm_baseline)
 
 
 def main() -> int:
@@ -183,6 +218,7 @@ def main() -> int:
         tmp = Path(td)
         fa1, fa2 = build_banks(tmp)
         ref = tmp / "reference.m8"
+        shm_baseline = scoris_shm_blocks()  # tolerate unrelated runs
 
         print("[smoke] serial reference run ...", flush=True)
         subprocess.run(
@@ -192,11 +228,15 @@ def main() -> int:
         print(f"[smoke] reference: {n_ref} records", flush=True)
 
         # SIGKILL to the whole group: the OOM-killer scenario.
-        rc = run_scenario("sigkill", signal.SIGKILL, True, fa1, fa2, ref, tmp)
+        rc = run_scenario(
+            "sigkill", signal.SIGKILL, True, fa1, fa2, ref, tmp, shm_baseline
+        )
         if rc != 0:
             return rc
         # SIGTERM to the parent: the graceful-shutdown scenario.
-        rc = run_scenario("sigterm", signal.SIGTERM, False, fa1, fa2, ref, tmp)
+        rc = run_scenario(
+            "sigterm", signal.SIGTERM, False, fa1, fa2, ref, tmp, shm_baseline
+        )
         if rc != 0:
             return rc
         print(f"[smoke] OK: both scenarios byte-identical ({n_ref} records)")

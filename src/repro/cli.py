@@ -197,6 +197,26 @@ def build_parser() -> argparse.ArgumentParser:
         "quarantined (default 2)",
     )
     parser.add_argument(
+        "--split", choices=("balanced", "legacy"), default="balanced",
+        help="ORIS only: step-2 work partition across --workers tasks: "
+        "'balanced' equalises hit-pair cost (X1*X2) per task, 'legacy' "
+        "splits the seed-code list into equal counts (default: balanced)",
+    )
+    parser.add_argument(
+        "--no-shm", action="store_true",
+        help="ORIS only: disable the shared-memory arena and ship each "
+        "worker a pickled copy of the banks/indexes instead (the "
+        "pre-arena behaviour; also the automatic fallback when /dev/shm "
+        "cannot hold the arena)",
+    )
+    parser.add_argument(
+        "--index-cache", default=None, metavar="DIR",
+        help="ORIS only: cache built seed indexes in DIR keyed by bank "
+        "content + parameters; repeat runs over the same banks load the "
+        "index O(1) via mmap instead of rebuilding it (standard "
+        "contiguous seeds only; spaced/asymmetric runs bypass the cache)",
+    )
+    parser.add_argument(
         "--stats", action="store_true",
         help="print per-step timings, work counters, the hit/extension "
         "funnel, ingestion and resource-governor reports to stderr",
@@ -331,6 +351,13 @@ def _execute(args) -> int:
             return _fail_usage(f"--memory-budget: {exc}")
     if args.tile_overlap < 0:
         return _fail_usage("--tile-overlap must be >= 0")
+    if args.index_cache is not None and args.engine != "oris":
+        return _fail_usage("--index-cache requires --engine oris")
+    index_cache = None
+    if args.index_cache is not None:
+        from .index import IndexCache
+
+        index_cache = IndexCache(args.index_cache)
 
     import os
 
@@ -432,6 +459,8 @@ def _execute(args) -> int:
 
         config = RuntimeConfig(
             n_workers=max(args.workers, 1),
+            split=args.split,
+            use_shm=not args.no_shm,
             task_timeout=args.task_timeout,
             max_retries=args.max_retries,
             checkpoint_dir=args.checkpoint,
@@ -445,7 +474,8 @@ def _execute(args) -> int:
             obs.profile_mode, obs.profile_dir, "main"
         ):
             result = compare_resilient(
-                bank1, bank2, engine.params, config, stop=stop, obs=obs
+                bank1, bank2, engine.params, config, stop=stop, obs=obs,
+                index_cache=index_cache,
             )
     elif plan is not None and plan.degraded:
         from .core.tiled import compare_tiled
@@ -460,9 +490,13 @@ def _execute(args) -> int:
             )
         result.counters.n_memory_degradations += 1
     else:
+        if index_cache is not None and isinstance(engine, OrisEngine):
+            engine.index_cache = index_cache
         with maybe_profile(obs.profile_mode, obs.profile_dir, "main"):
             result = engine.compare(bank1, bank2)
 
+    if index_cache is not None:
+        index_cache.record_metrics(result.metrics)
     sample_rss(result.counters)
     result.metrics.set_gauge(
         "resources.rss_peak_bytes",
@@ -545,6 +579,13 @@ def _print_stats(args, result, plan, ingest_reports, use_runtime) -> None:
             f"timeouts={c.n_timeouts} quarantined={c.n_quarantined} "
             f"degraded={c.n_degraded} skipped={c.n_skipped_tasks} "
             f"resumed={c.n_resumed}",
+            file=sys.stderr,
+        )
+    m = result.metrics
+    if "index.cache_hit" in m or "index.cache_miss" in m:
+        print(
+            f"# index cache: hits={m.value('index.cache_hit')} "
+            f"misses={m.value('index.cache_miss')}",
             file=sys.stderr,
         )
     if plan is not None:

@@ -103,7 +103,7 @@ class ComparisonResult:
     alignments: list[GappedAlignment]
     timings: StepTimings
     counters: WorkCounters
-    params: OrisParams = field(repr=False, default=None)  # type: ignore[assignment]
+    params: OrisParams | None = field(repr=False, default=None)
     #: Fine-grained observability metrics (funnel counters, histograms);
     #: superset of :class:`WorkCounters`, see :mod:`repro.obs.metrics`.
     metrics: MetricsRegistry = field(repr=False, default_factory=MetricsRegistry)
@@ -112,8 +112,12 @@ class ComparisonResult:
 class OrisEngine:
     """Ordered Index Seed comparison engine (the paper's contribution)."""
 
-    def __init__(self, params: OrisParams | None = None):
+    def __init__(self, params: OrisParams | None = None, index_cache=None):
         self.params = params or OrisParams()
+        #: Optional :class:`~repro.index.persist.IndexCache`.  When set,
+        #: step 1 for the standard contiguous-seed configuration becomes
+        #: an O(1) mmap load on repeated inputs (the ``formatdb`` role).
+        self.index_cache = index_cache
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -214,9 +218,16 @@ class OrisEngine:
 
     def _build_indexes(self, bank1: Bank, bank2: Bank) -> tuple[CsrSeedIndex, CsrSeedIndex]:
         p = self.params
+        seed_mask = p.seed_mask
+        if self.index_cache is not None and seed_mask is None and not p.asymmetric:
+            # Standard contiguous-seed path only: spaced/subset masks and
+            # asymmetric strides are not part of the cache key space.
+            return (
+                self.index_cache.get(bank1, p.w, p.filter_kind),
+                self.index_cache.get(bank2, p.w, p.filter_kind),
+            )
         mask1 = make_filter_mask(bank1, p.filter_kind)
         mask2 = make_filter_mask(bank2, p.filter_kind)
-        seed_mask = p.seed_mask
         if seed_mask is not None:
             return (
                 CsrSeedIndex(bank1, 0, mask1, mask=seed_mask),

@@ -20,7 +20,13 @@ import numpy as np
 
 from ..index.seed_index import CommonCodes, CsrSeedIndex
 
-__all__ = ["PairChunk", "iter_pair_chunks", "segmented_cartesian"]
+__all__ = [
+    "PairChunk",
+    "iter_pair_chunks",
+    "pair_costs",
+    "segmented_cartesian",
+    "split_balanced_ranges",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,6 +73,76 @@ def segmented_cartesian(
     p1 = positions1[start1[seg_id] + i]
     p2 = positions2[start2[seg_id] + j]
     return PairChunk(p1=p1, p2=p2, codes=codes[seg_id].astype(np.int64))
+
+
+def pair_costs(
+    common: CommonCodes, max_occurrences: int | None = None
+) -> np.ndarray:
+    """Per-code step-2 cost: the paper's ``X1 x X2`` extension count.
+
+    Codes that ``max_occurrences`` would drop in :func:`iter_pair_chunks`
+    cost nothing (they never reach the extension kernel), so the balanced
+    splitter sees exactly the work the workers will do.
+    """
+    c1 = common.count1.astype(np.int64)
+    c2 = common.count2.astype(np.int64)
+    costs = c1 * c2
+    if max_occurrences is not None:
+        costs[(c1 > max_occurrences) | (c2 > max_occurrences)] = 0
+    return costs
+
+
+def split_balanced_ranges(
+    costs: np.ndarray, n_chunks: int
+) -> list[tuple[int, int]]:
+    """Split ``range(len(costs))`` into contiguous chunks of ~equal cost.
+
+    Seed occurrence counts are heavy-tailed, so equal *code-count* ranges
+    (``np.linspace``) concentrate most of the X1*X2 pair work in a few
+    chunks.  This splitter places boundaries at cost quantiles instead
+    (``searchsorted`` over the prefix sum), preserving the ascending code
+    order inside every chunk -- the ordered-seed cutoff only needs that
+    intra-chunk order, so the partition policy is free.
+
+    Guarantee: among chunks it returns, ``max(cost) / min(cost) <= 1.5``
+    whenever total cost is positive.  One indivisible pathological code
+    can force fewer chunks than requested (its cost bounds the achievable
+    maximum from below, so balance is restored by merging neighbours);
+    the degenerate floor is a single chunk, whose ratio is trivially 1.
+    """
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    n_codes = int(costs.shape[0])
+    if n_codes == 0:
+        return []
+    costs = costs.astype(np.int64)
+    csum = np.cumsum(costs)
+    total = int(csum[-1])
+    if total == 0:
+        # No pair work anywhere: any split is balanced; keep it cheap.
+        return [(0, n_codes)]
+    c_max = int(costs.max())
+    # A chunk containing the heaviest code costs >= c_max, so with more
+    # than total/c_max chunks some other chunk must fall below c_max/1.5.
+    n_eff = max(1, min(n_chunks, total // c_max, n_codes))
+    while True:
+        targets = total * np.arange(1, n_eff, dtype=np.float64) / n_eff
+        cuts = np.searchsorted(csum, targets, side="left") + 1
+        bounds = np.concatenate(([0], np.unique(cuts), [n_codes]))
+        bounds = np.unique(bounds)
+        chunk_costs = np.diff(np.concatenate(([0], csum[bounds[1:] - 1])))
+        nonzero = chunk_costs[chunk_costs > 0]
+        if n_eff == 1 or (
+            nonzero.size > 0
+            and float(nonzero.max()) / float(nonzero.min()) <= 1.5
+        ):
+            break
+        n_eff -= 1
+    out: list[tuple[int, int]] = []
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        if hi > lo:
+            out.append((int(lo), int(hi)))
+    return out
 
 
 def iter_pair_chunks(

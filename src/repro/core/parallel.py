@@ -46,7 +46,7 @@ from ..index.seed_index import CommonCodes, CsrSeedIndex
 from ..io.bank import Bank
 from ..obs import MetricsRegistry, ObsSpec, init_worker_obs, maybe_profile, span
 from .engine import ComparisonResult, OrisEngine, StepTimings, WorkCounters
-from .pairs import iter_pair_chunks
+from .pairs import iter_pair_chunks, pair_costs, split_balanced_ranges
 from .params import OrisParams
 
 __all__ = [
@@ -54,11 +54,19 @@ __all__ = [
     "split_code_ranges",
     "RangePayload",
     "RangeResult",
+    "ShmRangePayload",
     "FaultSpec",
     "build_range_payload",
+    "publish_range_payload",
     "run_range",
     "resolve_start_method",
+    "plan_ranges",
 ]
+
+#: How many range tasks per worker the balanced splitter aims for; more
+#: tasks make straggler self-balancing finer at slightly more dispatch
+#: overhead (the ISSUE's 8-16x band).
+OVERSUBSCRIPTION = 12
 
 #: Per-worker state installed by the pool initializer (fork: inherited
 #: reference, zero-copy; spawn: unpickled once per worker process).
@@ -231,14 +239,146 @@ def build_range_payload(
     )
 
 
-def run_range(payload: RangePayload, lo: int, hi: int) -> RangeResult:
+#: Array-valued RangePayload fields, in declaration order.  The two
+#: optional ones (ok2/codes2) join the arena only when present.
+_PAYLOAD_ARRAY_FIELDS = (
+    "seq1",
+    "seq2",
+    "positions1",
+    "positions2",
+    "cutoff_codes1",
+    "codes",
+    "start1",
+    "count1",
+    "start2",
+    "count2",
+)
+_PAYLOAD_OPTIONAL_FIELDS = ("ok2", "codes2")
+
+
+@dataclass
+class ShmRangePayload:
+    """A :class:`RangePayload` whose arrays live in a shared-memory arena.
+
+    Pickling this ships the :class:`~repro.runtime.shm.ArenaSpec` (block
+    name + array table, a few hundred bytes) plus the scalar fields --
+    never the banks or indexes.  Workers call :meth:`resolve` (or just
+    pass it to :func:`run_range`, which resolves transparently) to attach
+    read-only views onto the parent's pages; the attach is cached per
+    process, so retry workers and multi-task workers map the block once.
+    """
+
+    spec: object  # ArenaSpec (typed loosely: core must not import runtime)
+    span: int
+    spaced: bool
+    params: OrisParams
+    threshold: int
+    fault: FaultSpec | None = field(default=None, repr=False)
+    obs: ObsSpec | None = field(default=None, repr=False)
+
+    def resolve(self) -> RangePayload:
+        """Attach the arena and rebuild the concrete payload (zero-copy)."""
+        views = self.spec.attach()
+        return RangePayload(
+            **{f: views[f] for f in _PAYLOAD_ARRAY_FIELDS},
+            span=self.span,
+            spaced=self.spaced,
+            ok2=views.get("ok2"),
+            codes2=views.get("codes2"),
+            params=self.params,
+            threshold=self.threshold,
+            fault=self.fault,
+            obs=self.obs,
+        )
+
+
+def publish_range_payload(
+    payload: RangePayload, registry: MetricsRegistry | None = None
+):
+    """Copy a payload's arrays into a shared-memory arena, once.
+
+    Returns ``(arena, shm_payload)``.  The caller owns the arena and must
+    ``close()`` it (a ``finally`` in the comparison entry points) -- the
+    views workers hold stay valid until their last mapping drops, so the
+    parent may unlink as soon as the pool is done.  Raises
+    :class:`~repro.runtime.errors.ResourceExhausted` when ``/dev/shm``
+    cannot hold the arrays; callers degrade to the pickled payload.
+    """
+    from ..runtime.shm import SharedArena
+
+    arrays = {f: getattr(payload, f) for f in _PAYLOAD_ARRAY_FIELDS}
+    for f in _PAYLOAD_OPTIONAL_FIELDS:
+        arr = getattr(payload, f)
+        if arr is not None:
+            arrays[f] = arr
+    arena = SharedArena(arrays)
+    if registry is not None:
+        registry.inc("shm.bytes_published", arena.nbytes)
+    shm_payload = ShmRangePayload(
+        spec=arena.spec,
+        span=payload.span,
+        spaced=payload.spaced,
+        params=payload.params,
+        threshold=payload.threshold,
+        fault=payload.fault,
+        obs=payload.obs,
+    )
+    return arena, shm_payload
+
+
+def plan_ranges(
+    common: CommonCodes,
+    n_tasks: int,
+    params: OrisParams,
+    split: str = "balanced",
+    registry: MetricsRegistry | None = None,
+) -> list[tuple[int, int]]:
+    """Partition the common-code list into range tasks.
+
+    ``split="balanced"`` (the default) equalises X1*X2 pair cost across
+    chunks via :func:`~repro.core.pairs.split_balanced_ranges`;
+    ``"legacy"`` keeps the historical equal-code-count ``linspace``
+    split (benchmark baseline).  Chunk costs land in the
+    ``sched.chunk_cost_pairs`` histogram and the achieved max/min ratio
+    in the ``sched.chunk_cost_ratio`` gauge.
+    """
+    if split not in ("balanced", "legacy"):
+        raise ValueError("split must be 'balanced' or 'legacy'")
+    if split == "legacy":
+        ranges = split_code_ranges(common.n_codes, n_tasks)
+    else:
+        costs = pair_costs(common, params.max_occurrences)
+        ranges = split_balanced_ranges(costs, n_tasks)
+    if registry is not None and ranges:
+        costs = pair_costs(common, params.max_occurrences)
+        csum = np.concatenate(([0], np.cumsum(costs)))
+        chunk_costs = np.array(
+            [int(csum[hi] - csum[lo]) for lo, hi in ranges], dtype=np.int64
+        )
+        registry.observe_array("sched.chunk_cost_pairs", chunk_costs)
+        nonzero = chunk_costs[chunk_costs > 0]
+        if nonzero.size:
+            registry.set_gauge(
+                "sched.chunk_cost_ratio",
+                float(nonzero.max()) / float(nonzero.min()),
+                mode="max",
+            )
+    return ranges
+
+
+def run_range(
+    payload: RangePayload | ShmRangePayload, lo: int, hi: int
+) -> RangeResult:
     """Run step 2 over ``payload.codes[lo:hi]`` (pure, idempotent).
 
     The result depends only on the payload and the range bounds, so a
     crashed or timed-out execution can simply be repeated -- the paper's
     one-seed-one-HSP argument guarantees no other task produces any of
-    these HSPs.
+    these HSPs.  Shared-memory payloads resolve to read-only views here,
+    in the executing process.
     """
+    if isinstance(payload, ShmRangePayload):
+        payload = payload.resolve()
     _maybe_trigger_fault(payload.fault, lo)
     init_worker_obs(payload.obs)
     obs = payload.obs
@@ -333,7 +473,7 @@ def _run_range_inner(payload: RangePayload, lo: int, hi: int) -> RangeResult:
 # --------------------------------------------------------------------- #
 
 
-def _init_pool_worker(payload: RangePayload) -> None:
+def _init_pool_worker(payload: RangePayload | ShmRangePayload) -> None:
     _WORKER_STATE["payload"] = payload
 
 
@@ -469,6 +609,9 @@ def compare_parallel(
     n_workers: int = 2,
     start_method: str | None = None,
     obs: ObsSpec | None = None,
+    use_shm: bool = True,
+    split: str = "balanced",
+    index_cache=None,
 ) -> ComparisonResult:
     """ORIS comparison with step 2 parallelised across processes.
 
@@ -476,6 +619,15 @@ def compare_parallel(
     engine -- asserted by the test suite -- because seed ranges are
     independent under the ordered-seed cutoff.  Steps 1, 3 and 4 run in
     the parent.
+
+    The code space is split into ``OVERSUBSCRIPTION`` x ``n_workers``
+    pair-cost-balanced chunks fed through the pool one at a time
+    (``chunksize=1``), so stragglers self-balance; ``split="legacy"``
+    restores the historical equal-code-count partition.  With ``use_shm``
+    (the default) the payload arrays are published once into a
+    shared-memory arena and workers attach views -- spawn workers no
+    longer unpickle bank copies; when the arena cannot be created the run
+    degrades to the pickled payload with a warning.
 
     ``start_method`` picks the multiprocessing start method explicitly
     (tests use ``"spawn"``); by default ``fork`` is preferred and any
@@ -495,6 +647,8 @@ def compare_parallel(
             "makes seed ranges independent)"
         )
     engine = OrisEngine(params)
+    if index_cache is not None:
+        engine.index_cache = index_cache
     if n_workers <= 1:
         return engine.compare(bank1, bank2)
     method = resolve_start_method(start_method)
@@ -522,18 +676,38 @@ def compare_parallel(
     payload = build_range_payload(
         index1, index2, common, params, threshold, obs=obs
     )
-    ranges = split_code_ranges(common.n_codes, n_workers)
-    with span("step2.extend", n_ranges=len(ranges)):
-        if ranges:
-            ctx = mp.get_context(method)
-            with ctx.Pool(
-                processes=len(ranges),
-                initializer=_init_pool_worker,
-                initargs=(payload,),
-            ) as pool:
-                results = pool.map(_pool_worker, ranges)
-        else:
-            results = []
+    ranges = plan_ranges(
+        common, n_workers * OVERSUBSCRIPTION, params, split, registry
+    )
+    arena = None
+    worker_payload: RangePayload | ShmRangePayload = payload
+    if use_shm and ranges:
+        from ..runtime.errors import ResourceExhausted
+
+        try:
+            arena, worker_payload = publish_range_payload(payload, registry)
+        except ResourceExhausted as exc:
+            warnings.warn(
+                f"{exc}; using the pickled worker payload instead",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            worker_payload = payload
+    try:
+        with span("step2.extend", n_ranges=len(ranges)):
+            if ranges:
+                ctx = mp.get_context(method)
+                with ctx.Pool(
+                    processes=min(n_workers, len(ranges)),
+                    initializer=_init_pool_worker,
+                    initargs=(worker_payload,),
+                ) as pool:
+                    results = pool.map(_pool_worker, ranges, chunksize=1)
+            else:
+                results = []
+    finally:
+        if arena is not None:
+            arena.close()
     table = merge_range_results(results, counters, registry)
     timings.ungapped = time.perf_counter() - t0
     registry.set_gauge(

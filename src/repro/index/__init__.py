@@ -7,7 +7,7 @@ from .seed_index import (
     valid_window_mask,
 )
 from .asymmetric import build_asymmetric_indexes
-from .persist import load_index, save_index
+from .persist import IndexCache, load_index, save_index
 from .memory import (
     IndexMemoryReport,
     csr_memory_report,
@@ -25,6 +25,7 @@ __all__ = [
     "csr_memory_report",
     "index_memory_report",
     "predicted_bytes",
+    "IndexCache",
     "load_index",
     "save_index",
 ]

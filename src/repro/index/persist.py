@@ -1,4 +1,4 @@
-"""Index persistence: save/load a bank + CSR seed index as one ``.npz``.
+"""Index persistence: archive a bank + CSR seed index, reload in O(1).
 
 The paper's setting keeps indexes "into the main memory of the computer";
 for a library, being able to build an index once and reload it (the
@@ -7,19 +7,41 @@ archive stores the encoded bank, its layout, and the CSR arrays; loading
 reconstructs a :class:`~repro.index.seed_index.CsrSeedIndex` without
 re-sorting.
 
-Archives are *verified* on load: the format version must match and a
-CRC-32 over every stored array (computed at save time, kept in the meta
-block) must agree with the loaded contents.  A truncated download, a
-bit-flip on disk, or an archive from an incompatible version raises
-:class:`~repro.runtime.errors.IndexCorrupt` -- the resilient runtime's
-resume path depends on never silently deserialising garbage inputs.
+Two formats are understood:
+
+**v3 (default)** -- a single uncompressed file: an 8-byte magic, a JSON
+header describing every array (name, dtype, shape, offset, CRC-32), then
+the raw array bytes at 64-byte-aligned offsets.  Loading ``mmap``\\ s the
+file and hands out read-only views: O(1) regardless of bank size, the
+kernel pages data in on first touch, and -- because file-backed mappings
+are shared -- every worker process that loads the same archive shares one
+physical copy.  The header CRC is always checked; the per-array CRCs are
+checked when ``verify=True`` (paying one sequential read).
+
+**v2 (legacy)** -- ``np.savez_compressed`` with a meta block and a
+content CRC.  Still loaded transparently (the loader sniffs the magic),
+still fully verified on load (decompression reads everything anyway);
+``save_index(..., format="v2")`` keeps a writer for compatibility tests.
+
+Both paths raise :class:`~repro.runtime.errors.IndexCorrupt` on damage --
+the resilient runtime's resume path depends on never silently
+deserialising garbage inputs.
+
+:class:`IndexCache` keys v3 archives by a content hash of the bank and
+the index parameters, turning repeated-library workloads ("serve a
+library of banks", ROADMAP) into cache hits that skip step 1 entirely.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import mmap
+import os
+import struct
 import zlib
 import zipfile
+from pathlib import Path
 
 import numpy as np
 
@@ -27,13 +49,25 @@ from ..io.bank import Bank
 from ..runtime.errors import IndexCorrupt
 from .seed_index import CsrSeedIndex
 
-__all__ = ["save_index", "load_index"]
+__all__ = ["save_index", "load_index", "IndexCache"]
 
-#: Archive format version (bump on layout changes).
-#: v2 adds the mandatory content checksum.
-FORMAT_VERSION = 2
+#: Current archive format version (the v3 single-file mmap layout).
+FORMAT_VERSION = 3
 
-#: Array fields covered by the content checksum, in checksum order.
+#: Legacy compressed-npz format (still loadable, writable on request).
+V2_FORMAT_VERSION = 2
+
+#: v3 file magic (8 bytes).
+_MAGIC = b"SCORIS3\x00"
+
+#: npz/zip magic, used to sniff legacy archives.
+_ZIP_MAGIC = b"PK"
+
+#: Alignment of every array segment in a v3 file (cache-line friendly,
+#: and a multiple of every dtype's itemsize).
+_ALIGN = 64
+
+#: Array fields persisted (and covered by checksums), in layout order.
 _ARRAY_FIELDS = (
     "seq",
     "starts",
@@ -47,18 +81,9 @@ _ARRAY_FIELDS = (
 )
 
 
-def _content_crc(arrays: dict[str, np.ndarray]) -> int:
-    """CRC-32 over the raw bytes of every persisted array, field order."""
-    crc = 0
-    for name in _ARRAY_FIELDS:
-        crc = zlib.crc32(np.ascontiguousarray(arrays[name]).tobytes(), crc)
-    return crc
-
-
-def save_index(path, index: CsrSeedIndex) -> None:
-    """Serialise *index* (with its bank) to ``path`` as ``.npz``."""
+def _index_arrays(index: CsrSeedIndex) -> dict[str, np.ndarray]:
     bank = index.bank
-    arrays = {
+    return {
         "seq": bank.seq,
         "starts": bank.starts,
         "lengths": bank.lengths,
@@ -69,30 +94,241 @@ def save_index(path, index: CsrSeedIndex) -> None:
         "code_counts": index.code_counts,
         "codes_at": index.codes_at,
     }
-    meta = {
-        "version": FORMAT_VERSION,
+
+
+def _index_meta(index: CsrSeedIndex) -> dict:
+    return {
         "w": index.w,
         "span": index.span,
         "mask": index.mask.pattern if index.mask is not None else None,
-        "names": bank.names,
+        "names": index.bank.names,
+    }
+
+
+def _content_crc(arrays: dict[str, np.ndarray]) -> int:
+    """CRC-32 over the raw bytes of every persisted array, field order."""
+    crc = 0
+    for name in _ARRAY_FIELDS:
+        crc = zlib.crc32(np.ascontiguousarray(arrays[name]).tobytes(), crc)
+    return crc
+
+
+# --------------------------------------------------------------------- #
+# Writers
+# --------------------------------------------------------------------- #
+
+
+def save_index(path, index: CsrSeedIndex, format: str = "v3") -> None:
+    """Serialise *index* (with its bank) to ``path``.
+
+    ``format="v3"`` (default) writes the mmap-able single-file layout;
+    ``format="v2"`` writes the legacy compressed ``.npz``.
+    """
+    if format == "v3":
+        _save_v3(path, index)
+    elif format == "v2":
+        _save_v2(path, index)
+    else:
+        raise ValueError(f"unknown index archive format {format!r}")
+
+
+def _save_v2(path, index: CsrSeedIndex) -> None:
+    arrays = _index_arrays(index)
+    meta = {
+        "version": V2_FORMAT_VERSION,
+        **_index_meta(index),
         "crc": _content_crc(arrays),
     }
-    np.savez_compressed(
-        path,
-        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
-        **arrays,
+    with open(path, "wb") as fh:  # np.savez would append ".npz" to a bare path
+        np.savez_compressed(
+            fh,
+            meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+            **arrays,
+        )
+
+
+def _save_v3(path, index: CsrSeedIndex) -> None:
+    arrays = {
+        name: np.ascontiguousarray(arr)
+        for name, arr in _index_arrays(index).items()
+    }
+    # Array offsets are relative to the 64-aligned data section that
+    # follows the header, so the header's own length never feeds back
+    # into the offsets it describes (single-pass serialisation).
+    table = []
+    offset = 0
+    for name in _ARRAY_FIELDS:
+        arr = arrays[name]
+        offset = -(-offset // _ALIGN) * _ALIGN
+        table.append(
+            {
+                "name": name,
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "offset": offset,
+                "nbytes": int(arr.nbytes),
+                "crc": zlib.crc32(arr.tobytes()),
+            }
+        )
+        offset += arr.nbytes
+    header = json.dumps(
+        {"version": FORMAT_VERSION, "meta": _index_meta(index), "arrays": table}
+    ).encode("utf-8")
+    data_start = -(-(len(_MAGIC) + 8 + len(header)) // _ALIGN) * _ALIGN
+    with open(path, "wb") as fh:
+        fh.write(_MAGIC)
+        fh.write(struct.pack("<II", len(header), zlib.crc32(header)))
+        fh.write(header)
+        for entry, name in zip(table, _ARRAY_FIELDS):
+            fh.seek(data_start + entry["offset"])
+            fh.write(arrays[name].tobytes())
+
+
+# --------------------------------------------------------------------- #
+# Loaders
+# --------------------------------------------------------------------- #
+
+
+def _rebuild(meta: dict, arrays: dict[str, np.ndarray]) -> CsrSeedIndex:
+    """Reassemble a bank + index from persisted pieces (no re-sorting)."""
+    from ..encoding.spaced import SpacedSeedMask
+
+    starts = arrays["starts"]
+    bank = Bank.__new__(Bank)
+    bank.names = list(meta["names"])
+    bank.lengths = arrays["lengths"]
+    bank.starts = starts
+    bank._ends = starts + arrays["lengths"]
+    bank.seq = arrays["seq"]
+    mask_pattern = meta.get("mask")
+    return CsrSeedIndex.from_arrays(
+        bank=bank,
+        w=int(meta["w"]),
+        span=int(meta.get("span", meta["w"])),
+        mask=SpacedSeedMask(mask_pattern) if mask_pattern else None,
+        positions=arrays["positions"],
+        sorted_codes=arrays["sorted_codes"],
+        unique_codes=arrays["unique_codes"],
+        code_starts=arrays["code_starts"],
+        code_counts=arrays["code_counts"],
+        codes_at=arrays["codes_at"],
     )
 
 
-def load_index(path) -> CsrSeedIndex:
-    """Load an index saved with :func:`save_index`.
+def load_index(path, verify: bool = False) -> CsrSeedIndex:
+    """Load an index saved with :func:`save_index` (v3 or legacy v2).
 
-    The bank is reconstructed from the stored arrays; the CSR arrays are
-    installed directly (no re-sorting).  Raises
-    :class:`~repro.runtime.errors.IndexCorrupt` (a :class:`ValueError`
-    subclass) when the archive is structurally damaged, carries an
-    unsupported format version, or fails its content checksum.
+    v3 archives are memory-mapped: the call is O(1) and the returned
+    arrays are read-only views whose pages the OS shares across every
+    process mapping the same file.  The header checksum is always
+    verified; ``verify=True`` additionally checks every array's CRC-32
+    (one sequential read).  v2 archives decompress fully and are always
+    content-verified.  Raises :class:`~repro.runtime.errors.IndexCorrupt`
+    (a :class:`ValueError` subclass) on structural damage, an unsupported
+    version, or a checksum mismatch.
     """
+    with open(path, "rb") as fh:
+        magic = fh.read(len(_MAGIC))
+    if magic == _MAGIC:
+        return _load_v3(path, verify=verify)
+    if magic[:2] == _ZIP_MAGIC:
+        return _load_v2(path)
+    raise IndexCorrupt(
+        f"index archive {path!s} has an unrecognised signature "
+        f"({magic[:8]!r}); not a v2 or v3 scoris index archive"
+    )
+
+
+def _close_quietly(mm: mmap.mmap) -> None:
+    """Close a mapping on an error path; already-built views may still
+    export its buffer, in which case it closes when they are collected."""
+    try:
+        mm.close()
+    except BufferError:
+        pass
+
+
+def _load_v3(path, verify: bool) -> CsrSeedIndex:
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+        try:
+            size = os.fstat(fd).st_size
+            mm = mmap.mmap(fd, size, access=mmap.ACCESS_READ)
+        finally:
+            os.close(fd)  # the mapping keeps its own reference
+    except (OSError, ValueError) as exc:
+        raise IndexCorrupt(
+            f"index archive {path!s} is unreadable: {exc}"
+        ) from exc
+    try:
+        base = len(_MAGIC)
+        if size < base + 8:
+            raise IndexCorrupt(f"index archive {path!s} is truncated")
+        header_len, header_crc = struct.unpack_from("<II", mm, base)
+        header_end = base + 8 + header_len
+        if header_end > size:
+            raise IndexCorrupt(f"index archive {path!s} is truncated")
+        header_bytes = bytes(mm[base + 8 : header_end])
+        if zlib.crc32(header_bytes) != header_crc:
+            raise IndexCorrupt(
+                f"index archive {path!s} failed its header checksum "
+                "(truncated or corrupted data)"
+            )
+        try:
+            header = json.loads(header_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise IndexCorrupt(
+                f"index archive {path!s}: unreadable header ({exc})"
+            ) from None
+        if header.get("version") != FORMAT_VERSION:
+            raise IndexCorrupt(
+                f"unsupported index archive version {header.get('version')!r}"
+                f" (expected {FORMAT_VERSION})"
+            )
+        entries = {e["name"]: e for e in header.get("arrays", [])}
+        missing = [n for n in _ARRAY_FIELDS if n not in entries]
+        if missing:
+            raise IndexCorrupt(
+                f"index archive {path!s}: missing array {missing[0]!r}"
+            )
+        data_start = -(-header_end // _ALIGN) * _ALIGN
+        arrays: dict[str, np.ndarray] = {}
+        for name in _ARRAY_FIELDS:
+            e = entries[name]
+            lo = data_start + int(e["offset"])
+            hi = lo + int(e["nbytes"])
+            if hi > size:
+                raise IndexCorrupt(
+                    f"index archive {path!s} is truncated "
+                    f"(array {name!r} extends past end of file)"
+                )
+            if verify and zlib.crc32(mm[lo:hi]) != int(e["crc"]):
+                raise IndexCorrupt(
+                    f"index archive {path!s} failed its content checksum "
+                    f"on array {name!r} (truncated or corrupted data)"
+                )
+            dtype = np.dtype(e["dtype"])
+            arr: np.ndarray = np.frombuffer(
+                mm, dtype=dtype, count=int(e["nbytes"]) // dtype.itemsize,
+                offset=lo,
+            ).reshape(tuple(e["shape"]))
+            # ACCESS_READ mappings are already immutable; the flag makes
+            # NumPy say so instead of segfaulting on write attempts.
+            arr.flags.writeable = False
+            arrays[name] = arr
+    except IndexCorrupt:
+        _close_quietly(mm)
+        raise
+    except (KeyError, TypeError, ValueError, struct.error) as exc:
+        _close_quietly(mm)
+        raise IndexCorrupt(
+            f"index archive {path!s} has a malformed header: {exc}"
+        ) from exc
+    # The arrays' buffer exports keep `mm` alive; no copy is ever made.
+    return _rebuild(header["meta"], arrays)
+
+
+def _load_v2(path) -> CsrSeedIndex:
     try:
         with np.load(path) as z:
             try:
@@ -101,10 +337,10 @@ def load_index(path) -> CsrSeedIndex:
                 raise IndexCorrupt(
                     f"index archive {path!s}: unreadable meta block ({exc})"
                 ) from None
-            if meta.get("version") != FORMAT_VERSION:
+            if meta.get("version") != V2_FORMAT_VERSION:
                 raise IndexCorrupt(
                     f"unsupported index archive version {meta.get('version')!r}"
-                    f" (expected {FORMAT_VERSION})"
+                    f" (expected {V2_FORMAT_VERSION})"
                 )
             try:
                 arrays = {name: z[name] for name in _ARRAY_FIELDS}
@@ -127,36 +363,76 @@ def load_index(path) -> CsrSeedIndex:
         # fold them into the structured taxonomy.
         raise IndexCorrupt(f"index archive {path!s} is unreadable: {exc}") from exc
 
-    seq = arrays["seq"]
-    starts = arrays["starts"]
-    lengths = arrays["lengths"]
-    names = list(meta["names"])
-
-    # Rebuild the bank from its stored pieces (bypass __init__'s
-    # re-concatenation: the array is already laid out).
-    bank = Bank.__new__(Bank)
-    bank.names = names
-    bank.lengths = lengths
-    bank.starts = starts
-    bank._ends = starts + lengths
-    seq = seq.copy()
+    seq = arrays["seq"].copy()
     seq.flags.writeable = False
-    bank.seq = seq
+    arrays = {**arrays, "seq": seq}
+    return _rebuild(meta, arrays)
 
-    from ..encoding.spaced import SpacedSeedMask
 
-    index = CsrSeedIndex.__new__(CsrSeedIndex)
-    index.bank = bank
-    index.w = int(meta["w"])
-    index.span = int(meta.get("span", meta["w"]))
-    mask_pattern = meta.get("mask")
-    index.mask = SpacedSeedMask(mask_pattern) if mask_pattern else None
-    index.positions = arrays["positions"].copy()
-    index.sorted_codes = arrays["sorted_codes"].copy()
-    index.unique_codes = arrays["unique_codes"].copy()
-    index.code_starts = arrays["code_starts"].copy()
-    index.code_counts = arrays["code_counts"].copy()
-    index.codes_at = arrays["codes_at"].copy()
-    index._indexed_mask = None
-    index._cutoff_codes = None
-    return index
+# --------------------------------------------------------------------- #
+# Content-hash keyed cache of v3 archives
+# --------------------------------------------------------------------- #
+
+
+class IndexCache:
+    """A directory of v3 index archives keyed by bank + parameter content.
+
+    ``get(bank, w, filter_kind)`` returns the cached index when the exact
+    (bank contents, seed width, filter) combination was built before --
+    an O(1) mmap load whose pages are shared across every process using
+    the same cache -- and otherwise builds, stores, and returns it.  The
+    key hashes the encoded sequence bytes and the bank layout, so a
+    changed input can never alias a stale archive.  A corrupt cache file
+    is rebuilt in place rather than failing the run.
+
+    Hit/miss totals accumulate on the instance; :meth:`record_metrics`
+    folds them into a run's registry as ``index.cache_hit`` /
+    ``index.cache_miss``.
+    """
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, bank: Bank, w: int, filter_kind: str | None) -> str:
+        """Content hash of one (bank, parameters) combination."""
+        h = hashlib.sha256()
+        h.update(f"scoris-index/v3|w={w}|filter={filter_kind}|".encode())
+        h.update(bank.seq.tobytes())
+        h.update(np.ascontiguousarray(bank.starts).tobytes())
+        h.update("\x00".join(bank.names).encode("utf-8", "surrogateescape"))
+        return h.hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.scoris3"
+
+    def get(
+        self, bank: Bank, w: int, filter_kind: str | None = None
+    ) -> CsrSeedIndex:
+        """Cached index for *bank*, building (and storing) on first use."""
+        from ..filters import make_filter_mask
+
+        path = self.path_for(self.key(bank, w, filter_kind))
+        if path.is_file():
+            try:
+                index = load_index(path)
+            except IndexCorrupt:
+                path.unlink(missing_ok=True)  # self-heal: rebuild below
+            else:
+                self.hits += 1
+                return index
+        self.misses += 1
+        index = CsrSeedIndex(bank, w, make_filter_mask(bank, filter_kind))
+        tmp = path.with_suffix(".tmp")
+        _save_v3(tmp, index)
+        os.replace(tmp, path)  # atomic publish: readers never see a torn file
+        return index
+
+    def record_metrics(self, registry) -> None:
+        """Fold hit/miss totals into a :class:`MetricsRegistry`."""
+        if self.hits:
+            registry.inc("index.cache_hit", self.hits)
+        if self.misses:
+            registry.inc("index.cache_miss", self.misses)

@@ -158,14 +158,19 @@ class LinkedSeedIndex:
             first[code] = pos
         return cls(bank=bank, w=w, first=first, nxt=nxt, n_indexed=len(positions))
 
-    def positions_of(self, code: int) -> list[int]:
-        """All positions of *code*, in increasing order (chain traversal)."""
+    def positions_of(self, code: int) -> np.ndarray:
+        """Occurrence positions of one seed code, ascending (maybe empty).
+
+        Traverses the figure-2 chain; returns an ``int64`` array with the
+        same contract as :meth:`CsrSeedIndex.positions_of`, so the two
+        layouts are drop-in interchangeable for lookups.
+        """
         out: list[int] = []
         pos = int(self.first[int(code)])
         while pos >= 0:
             out.append(pos)
             pos = int(self.nxt[pos])
-        return out
+        return np.asarray(out, dtype=np.int64)
 
     def nbytes(self, int_bytes: int = 4, char_bytes: int = 1) -> int:
         """Memory footprint using the paper's element sizes.
@@ -289,6 +294,42 @@ class CsrSeedIndex:
         )
         self._indexed_mask = None
         self._cutoff_codes = None
+
+    @classmethod
+    def from_arrays(
+        cls,
+        bank: Bank,
+        w: int,
+        span: int,
+        mask: SpacedSeedMask | SubsetSeedMask | None,
+        positions: np.ndarray,
+        sorted_codes: np.ndarray,
+        unique_codes: np.ndarray,
+        code_starts: np.ndarray,
+        code_counts: np.ndarray,
+        codes_at: np.ndarray,
+    ) -> "CsrSeedIndex":
+        """Reassemble an index from already-built arrays (no sorting).
+
+        This is the deserialisation path (:mod:`repro.index.persist`): the
+        arrays are trusted to satisfy the CSR invariants the constructor
+        would otherwise establish.  Arrays may be read-only views (e.g.
+        onto an ``mmap``\\ ed archive); nothing here writes to them.
+        """
+        index = cls.__new__(cls)
+        index.bank = bank
+        index.w = int(w)
+        index.span = int(span)
+        index.mask = mask
+        index.positions = positions
+        index.sorted_codes = sorted_codes
+        index.unique_codes = unique_codes
+        index.code_starts = code_starts
+        index.code_counts = code_counts
+        index.codes_at = codes_at
+        index._indexed_mask = None
+        index._cutoff_codes = None
+        return index
 
     @property
     def indexed_mask(self) -> np.ndarray:

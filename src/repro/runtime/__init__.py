@@ -53,7 +53,11 @@ __all__ = [
     "ResourcePlan",
     "plan_comparison",
     "preflight_disk",
+    "preflight_shm_arena",
     "rss_peak_bytes",
+    "ArenaSpec",
+    "SharedArena",
+    "reap_stale_segments",
 ]
 
 _LAZY = {
@@ -65,7 +69,11 @@ _LAZY = {
     "ResourcePlan": "governor",
     "plan_comparison": "governor",
     "preflight_disk": "governor",
+    "preflight_shm_arena": "governor",
     "rss_peak_bytes": "governor",
+    "ArenaSpec": "shm",
+    "SharedArena": "shm",
+    "reap_stale_segments": "shm",
 }
 
 

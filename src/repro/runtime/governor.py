@@ -44,9 +44,11 @@ __all__ = [
     "format_size",
     "estimate_index_bytes",
     "estimate_comparison_bytes",
+    "estimate_arena_bytes",
     "plan_comparison",
     "estimate_checkpoint_bytes",
     "preflight_disk",
+    "preflight_shm_arena",
     "rss_peak_bytes",
     "sample_rss",
 ]
@@ -219,6 +221,39 @@ def plan_comparison(
             f"indexing with {tile_nt} nt tiles"
         ),
     )
+
+
+#: Per-nucleotide footprint of the published step-2 worker arena: one
+#: encoded byte per nt plus the int64 CSR ``positions`` entry (8 bytes)
+#: for each bank, plus a small allowance for the common-code extent
+#: arrays (bounded by the smaller bank's code count).
+ARENA_BYTES_PER_NT: int = 12
+
+
+def estimate_arena_bytes(bank1_nt: int, bank2_nt: int) -> int:
+    """Projected bytes of the shared-memory worker arena for two banks.
+
+    A deliberate over-estimate (like the checkpoint projection): the
+    preflight's job is to warn before the run commits, not to be tight.
+    The exact total is re-checked against ``/dev/shm`` at publish time
+    by :func:`repro.runtime.shm.preflight_shm`.
+    """
+    return ARENA_BYTES_PER_NT * (max(int(bank1_nt), 0) + max(int(bank2_nt), 0))
+
+
+def preflight_shm_arena(bank1_nt: int, bank2_nt: int) -> int:
+    """Verify ``/dev/shm`` can plausibly hold the worker arena.
+
+    Returns the estimated arena bytes; raises
+    :class:`ResourceExhausted` when the shared-memory filesystem is
+    clearly too small -- callers degrade to the pickled payload path
+    (the run still works, just with per-worker copies).
+    """
+    from .shm import preflight_shm
+
+    estimate = estimate_arena_bytes(bank1_nt, bank2_nt)
+    preflight_shm(estimate)
+    return estimate
 
 
 def estimate_checkpoint_bytes(n_tasks: int) -> int:

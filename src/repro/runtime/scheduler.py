@@ -7,8 +7,8 @@ produces the same HSPs, and no other task can produce them.  This module
 exploits that property to make long bank-vs-bank comparisons survivable:
 
 * the common-code list is split into many small range tasks
-  (``tasks_per_worker`` x ``n_workers``, reusing
-  :func:`~repro.core.parallel.split_code_ranges`);
+  (up to ``tasks_per_worker`` x ``n_workers``, pair-cost balanced via
+  :func:`~repro.core.parallel.plan_ranges`);
 * tasks run on a pool of worker *processes* the scheduler supervises
   directly, each over its own duplex pipe (no shared queue: a worker
   dying mid-write can only tear its *own* channel, never deadlock the
@@ -49,18 +49,20 @@ from ..core.parallel import (
     FaultSpec,
     RangePayload,
     RangeResult,
+    ShmRangePayload,
     build_range_payload,
     finish_comparison,
     merge_range_results,
+    plan_ranges,
+    publish_range_payload,
     resolve_start_method,
     run_range,
-    split_code_ranges,
 )
 from ..core.params import OrisParams
 from ..io.bank import Bank
 from ..obs import MetricsRegistry, ObsSpec, span
 from .checkpoint import CheckpointJournal
-from .errors import PoolUnhealthy, RunInterrupted, TaskPoisoned
+from .errors import PoolUnhealthy, ResourceExhausted, RunInterrupted, TaskPoisoned
 
 __all__ = [
     "RuntimeConfig",
@@ -134,10 +136,19 @@ class RuntimeConfig:
         Worker processes for step 2 (1 = in-parent serial execution,
         which still supports checkpoint/resume).
     tasks_per_worker:
-        Granularity multiplier: the code list is split into
+        Granularity multiplier: the code list is split into (at most)
         ``n_workers * tasks_per_worker`` range tasks.  More tasks mean
-        finer checkpoints and cheaper retries, at slightly more dispatch
-        overhead.
+        finer checkpoints, cheaper retries, and better straggler
+        self-balancing, at slightly more dispatch overhead.
+    split:
+        Work-partition policy: ``"balanced"`` (default) equalises X1*X2
+        pair cost across tasks; ``"legacy"`` keeps the historical
+        equal-code-count split (benchmark baseline).
+    use_shm:
+        Publish the worker payload into a shared-memory arena so workers
+        attach zero-copy views instead of unpickling bank copies.
+        Degrades automatically (with a warning) when the arena cannot be
+        created.
     task_timeout:
         Per-task deadline in seconds (``None`` disables timeouts).  A
         task past its deadline has its worker killed and is requeued.
@@ -169,7 +180,9 @@ class RuntimeConfig:
     """
 
     n_workers: int = 2
-    tasks_per_worker: int = 4
+    tasks_per_worker: int = 12
+    split: str = "balanced"
+    use_shm: bool = True
     task_timeout: float | None = None
     max_retries: int = 2
     backoff_base: float = 0.05
@@ -188,6 +201,8 @@ class RuntimeConfig:
             raise ValueError("n_workers must be >= 1")
         if self.tasks_per_worker < 1:
             raise ValueError("tasks_per_worker must be >= 1")
+        if self.split not in ("balanced", "legacy"):
+            raise ValueError("split must be 'balanced' or 'legacy'")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if self.task_timeout is not None and self.task_timeout <= 0:
@@ -202,7 +217,7 @@ class RuntimeConfig:
         return 2 * self.n_workers + 2
 
 
-def _scheduler_worker(payload: RangePayload, conn) -> None:
+def _scheduler_worker(payload: RangePayload | ShmRangePayload, conn) -> None:
     """Worker loop: recv (task_id, lo, hi), run it, send the outcome.
 
     Sends ``(task_id, "ok", result)`` or ``(task_id, "error", repr)``
@@ -240,7 +255,7 @@ class _Worker:
 
     __slots__ = ("proc", "conn", "task_id", "deadline", "assigned_at")
 
-    def __init__(self, ctx, payload: RangePayload):
+    def __init__(self, ctx, payload: RangePayload | ShmRangePayload):
         self.conn, child = ctx.Pipe(duplex=True)
         self.proc = ctx.Process(
             target=_scheduler_worker,
@@ -297,7 +312,7 @@ class TaskScheduler:
 
     def __init__(
         self,
-        payload: RangePayload,
+        payload: RangePayload | ShmRangePayload,
         ranges: list[tuple[int, int]],
         config: RuntimeConfig,
         counters: WorkCounters,
@@ -648,6 +663,7 @@ def compare_resilient(
     config: RuntimeConfig | None = None,
     stop: ShutdownRequest | None = None,
     obs: ObsSpec | None = None,
+    index_cache=None,
 ) -> ComparisonResult:
     """ORIS comparison with fault-tolerant, checkpointed parallel step 2.
 
@@ -674,7 +690,7 @@ def compare_resilient(
             "the resilient runtime requires the ordered-seed cutoff (it is "
             "what makes range tasks idempotent)"
         )
-    engine = OrisEngine(params)
+    engine = OrisEngine(params, index_cache=index_cache)
 
     from ..align.evalue import karlin_params
 
@@ -697,8 +713,12 @@ def compare_resilient(
     payload = build_range_payload(
         index1, index2, common, params, threshold, fault=config.fault, obs=obs
     )
-    ranges = split_code_ranges(
-        common.n_codes, config.n_workers * config.tasks_per_worker
+    ranges = plan_ranges(
+        common,
+        config.n_workers * config.tasks_per_worker,
+        params,
+        config.split,
+        registry,
     )
     journal: CheckpointJournal | None = None
     completed: dict[int, RangeResult] = {}
@@ -721,16 +741,34 @@ def compare_resilient(
                 journal.create(fingerprint)
         else:
             journal.create(fingerprint)
+    # Zero-copy fan-out: publish the payload arrays once; workers (and
+    # every retry/replacement worker the scheduler spawns) attach views.
+    # Degradation, not failure, when /dev/shm cannot hold the arena.
+    arena = None
+    worker_payload: RangePayload | ShmRangePayload = payload
+    if config.use_shm and config.n_workers > 1 and len(ranges) > len(completed):
+        try:
+            arena, worker_payload = publish_range_payload(payload, registry)
+        except ResourceExhausted as exc:
+            warnings.warn(
+                f"{exc}; using the pickled worker payload instead",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            worker_payload = payload
     try:
         scheduler = TaskScheduler(
-            payload, ranges, config, counters, journal, completed,
+            worker_payload, ranges, config, counters, journal, completed,
             stop=stop, registry=registry,
         )
         with span("step2.extend", n_tasks=len(ranges)):
             results = scheduler.run()
     finally:
-        # Also the interrupted path: every journal line is fsynced at
-        # append time, so closing here flushes the final state to disk.
+        # Also the interrupted path (RunInterrupted propagates through
+        # here): the arena must never outlive the run, and every journal
+        # line is fsynced at append time, so closing flushes final state.
+        if arena is not None:
+            arena.close()
         if journal is not None:
             journal.close()
     table = merge_range_results(results, counters, registry)

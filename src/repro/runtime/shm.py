@@ -1,0 +1,369 @@
+"""Shared-memory arena: zero-copy fan-out of step-2 worker data.
+
+The paper's premise is that intensive comparison should be bounded by the
+extension arithmetic, not by memory traffic.  Before this module, every
+``spawn``-started worker (and every retry worker the scheduler replaces)
+unpickled a full copy of both encoded banks and both CSR indexes -- an
+O(bank) startup cost per process, paid again on every crash recovery.
+
+:class:`SharedArena` removes that copy: the parent *publishes* the
+payload arrays once into a single POSIX shared-memory block
+(``multiprocessing.shared_memory``), and workers -- fork *and* spawn --
+*attach* read-only NumPy views onto the very same physical pages.  What
+crosses the process boundary is an :class:`ArenaSpec`: block name plus a
+table of ``(field, dtype, shape, offset)`` entries, a few hundred bytes
+regardless of bank size.
+
+Lifecycle discipline (shared memory is a system-global resource; a leaked
+block survives the process):
+
+* the creating process owns the block and is the only one that unlinks
+  it; owners are tracked in a module registry with an ``atexit`` sweep,
+  and the comparison entry points unlink in ``finally`` blocks so the
+  scheduler's graceful-shutdown path (SIGTERM/SIGINT ->
+  :class:`~repro.runtime.errors.RunInterrupted`) cannot leak;
+* attachers suppress Python's ``resource_tracker`` registration (via
+  ``track=False`` on 3.13+, else by unregistering), because the tracker
+  would otherwise unlink the parent's live block when the first worker
+  exits -- the long-standing multi-process ``shared_memory`` footgun;
+* block names embed the owner pid (``scoris_<pid>_<token>``) so
+  :func:`reap_stale_segments` can garbage-collect blocks whose owner
+  died uncleanly (SIGKILL, OOM kill) -- it runs before each new arena is
+  created and in the CI leak check.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .errors import ResourceExhausted
+
+__all__ = [
+    "ArenaEntry",
+    "ArenaSpec",
+    "SharedArena",
+    "arena_prefix",
+    "attach_block",
+    "preflight_shm",
+    "reap_stale_segments",
+    "shm_dir",
+    "shm_free_bytes",
+]
+
+#: Block names are ``<prefix>_<owner-pid>_<token>``.
+_NAME_PREFIX = "scoris"
+
+#: Segment alignment inside the block (cache-line friendly, and keeps
+#: every array's base pointer aligned for any dtype NumPy uses here).
+_ALIGN = 64
+
+#: Creating-process registry of live owned arenas, swept at interpreter
+#: exit so no normal (or exception) path can leak a block.
+_OWNED: dict[str, "SharedArena"] = {}
+
+#: Attacher-side cache: block name -> (SharedMemory handle, views).  One
+#: attach per block per process, shared by every task that resolves the
+#: same payload.  Entries are never evicted: the mapping must outlive
+#: any view handed to user code, and a process attaches O(1) blocks.
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, dict[str, np.ndarray]]] = {}
+
+#: Handles whose ``close()`` failed because NumPy views still export
+#: their buffer; parked here so their noisy finalizer never runs.
+_RETIRED: list[shared_memory.SharedMemory] = []
+
+
+def arena_prefix() -> str:
+    """Name prefix of every arena block this package creates."""
+    return _NAME_PREFIX
+
+
+def shm_dir() -> str | None:
+    """The tmpfs directory backing POSIX shared memory (Linux only)."""
+    return "/dev/shm" if os.path.isdir("/dev/shm") else None
+
+
+def shm_free_bytes() -> int | None:
+    """Free bytes in the shared-memory filesystem (``None`` if unknown)."""
+    d = shm_dir()
+    if d is None:
+        return None
+    try:
+        import shutil
+
+        return shutil.disk_usage(d).free
+    except OSError:  # pragma: no cover - exotic mount states
+        return None
+
+
+def preflight_shm(required_bytes: int) -> None:
+    """Fail fast when the shm filesystem cannot hold ``required_bytes``.
+
+    Raises :class:`~repro.runtime.errors.ResourceExhausted` -- callers
+    catch it and degrade to the pickled-payload path rather than letting
+    a worker die on SIGBUS when the tmpfs runs out of pages mid-write.
+    """
+    free = shm_free_bytes()
+    if free is not None and free < required_bytes:
+        from .governor import format_size
+
+        raise ResourceExhausted(
+            f"shared-memory filesystem has {format_size(free)} free but the "
+            f"worker arena needs {format_size(required_bytes)}; falling back "
+            "requires the pickled payload path"
+        )
+
+
+def _pid_of_block(name: str) -> int | None:
+    """Owner pid encoded in an arena block name (``None`` if not ours)."""
+    parts = name.split("_")
+    if len(parts) != 3 or parts[0] != _NAME_PREFIX:
+        return None
+    try:
+        return int(parts[1])
+    except ValueError:
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - alien uid owns the pid
+        return True
+    return True
+
+
+def reap_stale_segments() -> list[str]:
+    """Unlink arena blocks whose owning process no longer exists.
+
+    A SIGKILL (the OOM killer's weapon of choice) gives the owner no
+    chance to unlink; its blocks would otherwise pin tmpfs pages until
+    reboot.  Every new arena creation calls this first, so a resumed run
+    cleans up after its killed predecessor -- the CI smoke test asserts
+    exactly that.  Returns the names reaped (for logging/tests).
+    """
+    d = shm_dir()
+    if d is None:
+        return []
+    reaped: list[str] = []
+    try:
+        names = os.listdir(d)
+    except OSError:  # pragma: no cover - tmpfs vanished underneath us
+        return []
+    for name in names:
+        pid = _pid_of_block(name)
+        if pid is None or pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(d, name))
+        except OSError:
+            continue
+        reaped.append(name)
+    return reaped
+
+
+def attach_block(name: str) -> shared_memory.SharedMemory:
+    """Open an existing block without resource-tracker registration.
+
+    The tracker assumes whoever opens a block co-owns it and "helpfully"
+    unlinks leaked blocks when the opening process exits -- which would
+    tear the arena out from under the parent the moment the first worker
+    finishes.  Python 3.13 grew ``track=False`` for exactly this; on
+    older interpreters registration is suppressed for the duration of
+    the open (suppression, not unregister-after: fork children share the
+    parent's tracker process, so a late unregister would erase the
+    *owner's* entry and unbalance the tracker's cache).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        from multiprocessing import resource_tracker
+
+        orig = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None  # type: ignore[assignment]
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = orig  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class ArenaEntry:
+    """One array's location inside the shared block."""
+
+    field: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        n = int(np.dtype(self.dtype).itemsize)
+        for dim in self.shape:
+            n *= int(dim)
+        return n
+
+
+@dataclass(frozen=True)
+class ArenaSpec:
+    """Picklable description of a published arena: the worker's 'payload'.
+
+    A spec is a few hundred bytes no matter how large the banks are;
+    :meth:`attach` turns it back into the dict of read-only arrays, all
+    views onto the shared pages (zero copies).
+    """
+
+    block: str
+    entries: tuple[ArenaEntry, ...]
+
+    @property
+    def nbytes(self) -> int:
+        """Total published payload bytes (excluding alignment padding)."""
+        return sum(e.nbytes for e in self.entries)
+
+    def attach(self) -> dict[str, np.ndarray]:
+        """Map the block and return ``{field: read-only ndarray view}``.
+
+        Cached per process: repeated resolutions of the same payload
+        (retry workers, the parent's quarantine path) reuse one mapping.
+        """
+        cached = _ATTACHED.get(self.block)
+        if cached is not None:
+            return cached[1]
+        shm = attach_block(self.block)
+        views: dict[str, np.ndarray] = {}
+        for e in self.entries:
+            arr: np.ndarray = np.frombuffer(
+                shm.buf,
+                dtype=np.dtype(e.dtype),
+                count=max(e.nbytes // np.dtype(e.dtype).itemsize, 0),
+                offset=e.offset,
+            ).reshape(e.shape)
+            arr.flags.writeable = False
+            views[e.field] = arr
+        _ATTACHED[self.block] = (shm, views)
+        return views
+
+
+class SharedArena:
+    """Parent-side owner of one published shared-memory block.
+
+    ``SharedArena(arrays)`` copies each array once into a fresh block
+    (the only copy anyone pays); :attr:`spec` is what ships to workers.
+    Use as a context manager -- ``__exit__`` unlinks, and a module-level
+    ``atexit`` sweep catches any owner that skips it.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray]):
+        reap_stale_segments()
+        entries: list[ArenaEntry] = []
+        offset = 0
+        for field, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            arrays[field] = arr
+            offset = -(-offset // _ALIGN) * _ALIGN  # round up
+            entries.append(
+                ArenaEntry(
+                    field=field,
+                    dtype=arr.dtype.str,
+                    shape=tuple(int(d) for d in arr.shape),
+                    offset=offset,
+                )
+            )
+            offset += arr.nbytes
+        total = max(offset, 1)
+        preflight_shm(total)
+        name = f"{_NAME_PREFIX}_{os.getpid()}_{secrets.token_hex(4)}"
+        self._shm: shared_memory.SharedMemory | None = (
+            shared_memory.SharedMemory(name=name, create=True, size=total)
+        )
+        for e, arr in zip(entries, arrays.values()):
+            dest: np.ndarray = np.frombuffer(
+                self._shm.buf,
+                dtype=arr.dtype,
+                count=arr.size,
+                offset=e.offset,
+            ).reshape(arr.shape)
+            dest[...] = arr
+        self.spec = ArenaSpec(block=name, entries=tuple(entries))
+        _OWNED[name] = self
+
+    @property
+    def nbytes(self) -> int:
+        return self.spec.nbytes
+
+    def close(self) -> None:
+        """Unlink the block (idempotent; safe while workers hold views --
+        POSIX keeps the pages alive until the last mapping drops).
+
+        A possible *attached* mapping of our own block (the scheduler's
+        in-parent quarantine path resolves the payload in this process)
+        is deliberately left in :data:`_ATTACHED`: user code may still
+        hold views into it, and the cache entry is what keeps the handle
+        referenced so its finalizer never races those views.
+        """
+        shm = self._shm
+        if shm is None:
+            return
+        self._shm = None
+        _OWNED.pop(self.spec.block, None)
+        try:
+            shm.close()
+        except (OSError, BufferError):
+            # A buffer export outlives us; park the handle so its
+            # __del__ (which would re-raise noisily) never runs.
+            _RETIRED.append(shm)
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        except OSError:  # pragma: no cover - platform-specific unlink races
+            pass
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def _neutralize(shm: shared_memory.SharedMemory) -> None:
+    """Silence a handle whose buffer is still exported by live views.
+
+    ``SharedMemory.__del__`` re-raises :class:`BufferError` as an
+    "Exception ignored" traceback during interpreter teardown.  Closing
+    what can be closed (the fd) and detaching the rest makes the
+    finalizer a no-op; the pages stay mapped exactly as long as NumPy
+    views reference them, which is the semantics we want anyway.
+    """
+    try:
+        shm.close()
+        return
+    except (OSError, BufferError):
+        pass
+    try:
+        fd = getattr(shm, "_fd", -1)
+        if isinstance(fd, int) and fd >= 0:
+            os.close(fd)
+        shm._fd = -1  # type: ignore[attr-defined]
+        shm._mmap = None  # type: ignore[attr-defined]
+        shm._buf = None  # type: ignore[attr-defined]
+    except Exception:  # noqa: BLE001 - last-resort teardown hygiene
+        pass
+
+
+@atexit.register
+def _sweep_owned() -> None:  # pragma: no cover - interpreter teardown
+    for arena in list(_OWNED.values()):
+        arena.close()
+    for shm, _views in _ATTACHED.values():
+        _neutralize(shm)
+    for shm in _RETIRED:
+        _neutralize(shm)

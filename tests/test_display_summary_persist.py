@@ -117,14 +117,15 @@ class TestSummaries:
 
 
 class TestIndexPersistence:
-    def test_round_trip(self, tmp_path, rng):
+    @pytest.mark.parametrize("fmt", ["v3", "v2"])
+    def test_round_trip(self, tmp_path, rng, fmt):
         bank = Bank.from_strings(
             [("a", random_dna(rng, 400)), ("b", random_dna(rng, 300))]
         )
         idx = CsrSeedIndex(bank, 9)
-        path = tmp_path / "bank.idx.npz"
-        save_index(path, idx)
-        loaded = load_index(path)
+        path = tmp_path / "bank.idx"
+        save_index(path, idx, format=fmt)
+        loaded = load_index(path, verify=True)
         assert loaded.w == 9
         assert loaded.bank.names == bank.names
         assert np.array_equal(loaded.bank.seq, bank.seq)
@@ -152,7 +153,7 @@ class TestIndexPersistence:
         bank = Bank.from_strings([("a", random_dna(rng, 100))])
         idx = CsrSeedIndex(bank, 6)
         path = tmp_path / "x.npz"
-        save_index(path, idx)
+        save_index(path, idx, format="v2")
         # corrupt the version
         data = dict(np.load(path))
         meta = json.loads(bytes(data["meta"]).decode())
@@ -164,7 +165,7 @@ class TestIndexPersistence:
 
 
 class TestIndexArchiveVerification:
-    """load_index must reject damaged archives, never deserialise garbage."""
+    """load_index must reject damaged v2 archives, never deserialise garbage."""
 
     def _saved(self, tmp_path, rng):
         bank = Bank.from_strings(
@@ -172,7 +173,7 @@ class TestIndexArchiveVerification:
         )
         idx = CsrSeedIndex(bank, 8)
         path = tmp_path / "bank.idx.npz"
-        save_index(path, idx)
+        save_index(path, idx, format="v2")
         return path
 
     def test_truncated_archive(self, tmp_path, rng):
@@ -232,3 +233,140 @@ class TestIndexArchiveVerification:
     def test_missing_file_raises_file_not_found(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_index(tmp_path / "nope.npz")
+
+
+class TestV3Archive:
+    """The mmap-able v3 layout: zero-copy load + checksummed damage rejection."""
+
+    def _saved(self, tmp_path, rng, w=8):
+        bank = Bank.from_strings(
+            [("a", random_dna(rng, 400)), ("b", random_dna(rng, 250))]
+        )
+        idx = CsrSeedIndex(bank, w)
+        path = tmp_path / "bank.scoris3"
+        save_index(path, idx)  # v3 is the default format
+        return path, idx
+
+    def test_loaded_arrays_are_readonly_views(self, tmp_path, rng):
+        path, idx = self._saved(tmp_path, rng)
+        loaded = load_index(path)
+        assert not loaded.positions.flags.writeable
+        assert not loaded.bank.seq.flags.writeable
+        # zero-copy: the arrays are views onto one mmap buffer, not copies
+        assert loaded.positions.base is not None
+        with pytest.raises((ValueError, RuntimeError)):
+            loaded.positions[0] = 1
+
+    def test_header_tamper_rejected(self, tmp_path, rng):
+        from repro.runtime.errors import IndexCorrupt
+
+        path, _ = self._saved(tmp_path, rng)
+        blob = bytearray(path.read_bytes())
+        blob[20] ^= 0xFF  # inside the JSON header
+        path.write_bytes(bytes(blob))
+        with pytest.raises(IndexCorrupt, match="header checksum"):
+            load_index(path)
+
+    def test_content_tamper_rejected_with_verify(self, tmp_path, rng):
+        from repro.runtime.errors import IndexCorrupt
+
+        path, _ = self._saved(tmp_path, rng)
+        blob = bytearray(path.read_bytes())
+        blob[-5] ^= 0xFF  # inside the last array segment
+        path.write_bytes(bytes(blob))
+        with pytest.raises(IndexCorrupt, match="content checksum"):
+            load_index(path, verify=True)
+
+    def test_truncation_rejected(self, tmp_path, rng):
+        from repro.runtime.errors import IndexCorrupt
+
+        path, _ = self._saved(tmp_path, rng)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(IndexCorrupt, match="truncated"):
+            load_index(path)
+
+    def test_unrecognised_signature_rejected(self, tmp_path):
+        from repro.runtime.errors import IndexCorrupt
+
+        path = tmp_path / "junk"
+        path.write_bytes(b"not an index archive at all")
+        with pytest.raises(IndexCorrupt, match="signature"):
+            load_index(path)
+
+    def test_unknown_format_name_rejected(self, tmp_path, rng):
+        bank = Bank.from_strings([("a", random_dna(rng, 100))])
+        idx = CsrSeedIndex(bank, 6)
+        with pytest.raises(ValueError, match="format"):
+            save_index(tmp_path / "x", idx, format="v99")
+
+
+class TestIndexCache:
+    def _bank(self, rng, n=300):
+        return Bank.from_strings([("a", random_dna(rng, n))])
+
+    def test_miss_then_hit(self, tmp_path, rng):
+        from repro.index import IndexCache
+
+        cache = IndexCache(tmp_path / "cache")
+        bank = self._bank(rng)
+        first = cache.get(bank, 9)
+        second = cache.get(bank, 9)
+        assert (cache.misses, cache.hits) == (1, 1)
+        assert np.array_equal(first.positions, second.positions)
+        assert np.array_equal(first.positions, CsrSeedIndex(bank, 9).positions)
+
+    def test_key_depends_on_content_and_params(self, tmp_path, rng):
+        from repro.index import IndexCache
+
+        cache = IndexCache(tmp_path / "cache")
+        bank = self._bank(rng)
+        other = self._bank(rng)
+        keys = {
+            cache.key(bank, 9, None),
+            cache.key(bank, 11, None),
+            cache.key(bank, 9, "dust"),
+            cache.key(other, 9, None),
+        }
+        assert len(keys) == 4
+
+    def test_corrupt_entry_self_heals(self, tmp_path, rng):
+        from repro.index import IndexCache
+
+        cache = IndexCache(tmp_path / "cache")
+        bank = self._bank(rng)
+        cache.get(bank, 9)
+        path = cache.path_for(cache.key(bank, 9, None))
+        path.write_bytes(b"ruined")
+        rebuilt = cache.get(bank, 9)
+        assert cache.misses == 2 and cache.hits == 0
+        assert np.array_equal(rebuilt.positions, CsrSeedIndex(bank, 9).positions)
+        load_index(path, verify=True)  # the healed file is valid again
+
+    def test_record_metrics(self, tmp_path, rng):
+        from repro.index import IndexCache
+        from repro.obs import MetricsRegistry
+
+        cache = IndexCache(tmp_path / "cache")
+        bank = self._bank(rng)
+        cache.get(bank, 9)
+        cache.get(bank, 9)
+        registry = MetricsRegistry()
+        cache.record_metrics(registry)
+        assert registry.value("index.cache_hit") == 1
+        assert registry.value("index.cache_miss") == 1
+
+    def test_engine_results_identical_with_cache(self, tmp_path, rng):
+        from repro.index import IndexCache
+        from repro.io.m8 import format_m8
+
+        core = random_dna(rng, 300)
+        b1 = Bank.from_strings([("q", core + random_dna(rng, 50))])
+        b2 = Bank.from_strings([("s", random_dna(rng, 50) + core)])
+        base = OrisEngine(OrisParams()).compare(b1, b2)
+        cache = IndexCache(tmp_path / "cache")
+        cold = OrisEngine(OrisParams(), index_cache=cache).compare(b1, b2)
+        warm = OrisEngine(OrisParams(), index_cache=cache).compare(b1, b2)
+        assert format_m8(cold.records) == format_m8(base.records)
+        assert format_m8(warm.records) == format_m8(base.records)
+        assert cache.hits == 2 and cache.misses == 2

@@ -5,7 +5,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.pairs import iter_pair_chunks, segmented_cartesian
+from repro.core.pairs import (
+    iter_pair_chunks,
+    pair_costs,
+    segmented_cartesian,
+    split_balanced_ranges,
+)
+from repro.index.seed_index import CommonCodes
 from repro.index import CsrSeedIndex
 from repro.io.bank import Bank
 from repro.data.synthetic import random_dna
@@ -112,3 +118,104 @@ class TestIterPairChunks:
         i1, i2 = CsrSeedIndex(b1, 4), CsrSeedIndex(b2, 4)
         cc = i1.common_codes(i2)
         assert list(iter_pair_chunks(i1, i2, cc, 100)) == []
+
+
+def _common(count1, count2):
+    c1 = np.asarray(count1, dtype=np.int64)
+    c2 = np.asarray(count2, dtype=np.int64)
+    n = c1.shape[0]
+    z = np.zeros(n, dtype=np.int64)
+    return CommonCodes(
+        codes=np.arange(n, dtype=np.int64),
+        start1=z, count1=c1, start2=z.copy(), count2=c2,
+    )
+
+
+class TestPairCosts:
+    def test_products(self):
+        cc = _common([2, 3, 0], [5, 1, 9])
+        np.testing.assert_array_equal(pair_costs(cc), [10, 3, 0])
+
+    def test_max_occurrences_zeroes_heavy_codes(self):
+        cc = _common([2, 100, 3], [5, 1, 200])
+        np.testing.assert_array_equal(
+            pair_costs(cc, max_occurrences=50), [10, 0, 0]
+        )
+        # the capped costs match what iter_pair_chunks will actually skip
+
+    def test_no_overflow_on_large_counts(self):
+        cc = _common([100_000], [100_000])
+        assert pair_costs(cc)[0] == 10_000_000_000  # > int32
+
+
+class TestSplitBalancedRanges:
+    def _check_partition(self, ranges, n_codes):
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == n_codes
+        for (_, b1), (a2, _) in zip(ranges, ranges[1:]):
+            assert b1 == a2
+
+    def test_uniform_costs_split_evenly(self):
+        costs = np.ones(100, dtype=np.int64)
+        ranges = split_balanced_ranges(costs, 4)
+        self._check_partition(ranges, 100)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_skewed_costs_are_balanced(self):
+        # one huge code among many cheap ones: the legacy equal-count
+        # split would put the giant plus 1/4 of the cheap work in one
+        # chunk; balanced isolates it.
+        costs = np.ones(1000, dtype=np.int64)
+        costs[500] = 1000
+        ranges = split_balanced_ranges(costs, 8)
+        self._check_partition(ranges, 1000)
+        csum = np.concatenate(([0], np.cumsum(costs)))
+        chunk_costs = np.array([csum[hi] - csum[lo] for lo, hi in ranges])
+        nz = chunk_costs[chunk_costs > 0]
+        assert nz.max() / nz.min() <= 1.5
+
+    def test_single_chunk(self):
+        ranges = split_balanced_ranges(np.ones(10, dtype=np.int64), 1)
+        assert ranges == [(0, 10)]
+
+    def test_zero_total_cost_collapses_to_one_chunk(self):
+        ranges = split_balanced_ranges(np.zeros(10, dtype=np.int64), 4)
+        assert ranges == [(0, 10)]
+
+    def test_empty(self):
+        assert split_balanced_ranges(np.empty(0, dtype=np.int64), 4) == []
+
+    def test_never_more_chunks_than_codes(self):
+        ranges = split_balanced_ranges(np.ones(3, dtype=np.int64), 16)
+        self._check_partition(ranges, 3)
+        assert len(ranges) <= 3
+
+    def test_dominant_code_limits_chunk_count(self):
+        # One code carries ~all the cost: no split can beat one chunk of
+        # that cost, so the planner must not fragment the cheap tail into
+        # chunks that violate the balance ratio.
+        costs = np.ones(100, dtype=np.int64)
+        costs[0] = 10_000
+        ranges = split_balanced_ranges(costs, 8)
+        self._check_partition(ranges, 100)
+        csum = np.concatenate(([0], np.cumsum(costs)))
+        chunk_costs = np.array([csum[hi] - csum[lo] for lo, hi in ranges])
+        nz = chunk_costs[chunk_costs > 0]
+        assert nz.max() / nz.min() <= 1.5
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(0, 50), min_size=1, max_size=200),
+        st.integers(1, 16),
+    )
+    def test_partition_invariants_hold(self, costs, n_chunks):
+        costs = np.asarray(costs, dtype=np.int64)
+        ranges = split_balanced_ranges(costs, n_chunks)
+        self._check_partition(ranges, len(costs))
+        assert len(ranges) <= n_chunks
+        csum = np.concatenate(([0], np.cumsum(costs)))
+        chunk_costs = np.array([csum[hi] - csum[lo] for lo, hi in ranges])
+        nz = chunk_costs[chunk_costs > 0]
+        if nz.size > 1:
+            assert nz.max() / nz.min() <= 1.5

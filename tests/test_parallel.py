@@ -10,6 +10,8 @@ from repro.core.parallel import (
     FaultSpec,
     build_range_payload,
     compare_parallel,
+    plan_ranges,
+    publish_range_payload,
     run_range,
     split_code_ranges,
 )
@@ -44,6 +46,41 @@ class TestSplitCodeRanges:
     def test_invalid_workers(self):
         with pytest.raises(ValueError):
             split_code_ranges(10, 0)
+
+
+class TestPlanRanges:
+    def _common(self, est_pair):
+        engine = OrisEngine(OrisParams())
+        i1, i2 = engine._build_indexes(*est_pair)
+        return i1.common_codes(i2)
+
+    def test_legacy_matches_split_code_ranges(self, est_pair):
+        common = self._common(est_pair)
+        assert plan_ranges(common, 6, OrisParams(), "legacy") == (
+            split_code_ranges(common.n_codes, 6)
+        )
+
+    def test_balanced_covers_code_space(self, est_pair):
+        common = self._common(est_pair)
+        ranges = plan_ranges(common, 8, OrisParams())
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == common.n_codes
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo
+
+    def test_records_cost_metrics(self, est_pair):
+        from repro.obs import MetricsRegistry
+
+        common = self._common(est_pair)
+        registry = MetricsRegistry()
+        plan_ranges(common, 8, OrisParams(), "balanced", registry)
+        assert "sched.chunk_cost_pairs" in registry
+        assert registry.value("sched.chunk_cost_ratio") >= 1.0
+
+    def test_unknown_split_rejected(self, est_pair):
+        common = self._common(est_pair)
+        with pytest.raises(ValueError, match="split"):
+            plan_ranges(common, 4, OrisParams(), "random")
 
 
 class TestRangePayload:
@@ -181,3 +218,74 @@ class TestCompareParallel:
         assert [r.to_line() for r in par.records] == [
             r.to_line() for r in seq.records
         ]
+
+    def test_legacy_split_matches_sequential(self, est_pair):
+        seq = OrisEngine(OrisParams()).compare(*est_pair)
+        par = compare_parallel(
+            *est_pair, OrisParams(), n_workers=2, split="legacy"
+        )
+        assert [r.to_line() for r in par.records] == [
+            r.to_line() for r in seq.records
+        ]
+
+    def test_pickled_payload_path_matches_sequential(self, est_pair):
+        seq = OrisEngine(OrisParams()).compare(*est_pair)
+        par = compare_parallel(
+            *est_pair, OrisParams(), n_workers=2, use_shm=False
+        )
+        assert [r.to_line() for r in par.records] == [
+            r.to_line() for r in seq.records
+        ]
+
+    def test_shm_run_publishes_arena_bytes(self, est_pair):
+        par = compare_parallel(*est_pair, OrisParams(), n_workers=2)
+        assert par.metrics.value("shm.bytes_published") > 0
+
+
+class TestShmPayload:
+    """The zero-copy fan-out: spec-sized pickles, identical results."""
+
+    def _payload(self, est_pair):
+        from repro.align.evalue import karlin_params
+
+        params = OrisParams()
+        engine = OrisEngine(params)
+        i1, i2 = engine._build_indexes(*est_pair)
+        common = i1.common_codes(i2)
+        threshold = engine._resolve_hsp_min_score(
+            *est_pair, karlin_params(params.scoring)
+        )
+        return build_range_payload(i1, i2, common, params, threshold)
+
+    def test_pickle_is_at_least_10x_smaller(self, est_pair):
+        payload = self._payload(est_pair)
+        arena, shm_payload = publish_range_payload(payload)
+        try:
+            concrete = len(pickle.dumps(payload))
+            shared = len(pickle.dumps(shm_payload))
+            assert concrete >= 10 * shared  # the ISSUE's acceptance bar
+        finally:
+            arena.close()
+
+    def test_resolved_payload_runs_identically(self, est_pair):
+        payload = self._payload(est_pair)
+        arena, shm_payload = publish_range_payload(payload)
+        try:
+            n = payload.n_codes
+            a = run_range(payload, 0, n // 2)
+            b = run_range(shm_payload, 0, n // 2)
+            assert np.array_equal(a.start1, b.start1)
+            assert np.array_equal(a.score, b.score)
+            assert (a.n_pairs, a.n_cut, a.steps) == (b.n_pairs, b.n_cut, b.steps)
+        finally:
+            arena.close()
+
+    def test_views_are_read_only(self, est_pair):
+        payload = self._payload(est_pair)
+        arena, shm_payload = publish_range_payload(payload)
+        try:
+            resolved = shm_payload.resolve()
+            with pytest.raises((ValueError, RuntimeError)):
+                resolved.seq1[0] = 0
+        finally:
+            arena.close()

@@ -14,7 +14,7 @@ import signal
 import pytest
 
 from repro.core import OrisEngine, OrisParams
-from repro.core.parallel import FaultSpec, split_code_ranges
+from repro.core.parallel import FaultSpec, plan_ranges
 from repro.runtime import CheckpointCorrupt, TaskPoisoned
 from repro.runtime.scheduler import RuntimeConfig, compare_resilient
 
@@ -29,13 +29,35 @@ def serial_lines(est_pair):
 
 
 @pytest.fixture(scope="module")
-def mid_range_lo(est_pair):
-    """The start of a middle range task, for targeted fault injection."""
+def n_tasks_for(est_pair):
+    """Actual task count the balanced planner produces for a target.
+
+    The balanced split may return fewer tasks than requested (its
+    max-cost bound), so count assertions must use the real plan, not
+    the ``n_workers * tasks_per_worker`` target.
+    """
     engine = OrisEngine(OrisParams())
     i1, i2 = engine._build_indexes(*est_pair)
     common = i1.common_codes(i2)
-    ranges = split_code_ranges(common.n_codes, N_WORKERS * TASKS_PER_WORKER)
-    assert len(ranges) == N_WORKERS * TASKS_PER_WORKER
+
+    def _n_tasks(target: int) -> int:
+        return len(plan_ranges(common, target, OrisParams()))
+
+    return _n_tasks
+
+
+@pytest.fixture(scope="module")
+def mid_range_lo(est_pair):
+    """The start of a middle range task, for targeted fault injection.
+
+    Must use the same planner (and target) as the runs under test, so
+    the injected fault lands on a real task boundary.
+    """
+    engine = OrisEngine(OrisParams())
+    i1, i2 = engine._build_indexes(*est_pair)
+    common = i1.common_codes(i2)
+    ranges = plan_ranges(common, N_WORKERS * TASKS_PER_WORKER, OrisParams())
+    assert len(ranges) >= 3  # the fault/resume tests need a middle task
     return ranges[len(ranges) // 2][0]
 
 
@@ -217,20 +239,22 @@ class TestCheckpointResume:
         )
 
     def test_full_resume_skips_everything(
-        self, est_pair, serial_lines, tmp_path
+        self, est_pair, serial_lines, tmp_path, n_tasks_for
     ):
         ckpt = tmp_path / "ckpt"
         first = self._run(est_pair, ckpt, n_workers=N_WORKERS)
         assert lines(first) == serial_lines
         again = self._run(est_pair, ckpt, resume=True, n_workers=N_WORKERS)
         assert lines(again) == serial_lines
-        assert again.counters.n_resumed == N_WORKERS * TASKS_PER_WORKER
+        assert again.counters.n_resumed == n_tasks_for(
+            N_WORKERS * TASKS_PER_WORKER
+        )
 
     def test_partial_resume_completes_the_rest(
-        self, est_pair, serial_lines, tmp_path
+        self, est_pair, serial_lines, tmp_path, n_tasks_for
     ):
         ckpt = tmp_path / "ckpt"
-        self._run(est_pair, ckpt)  # n_workers=1 -> TASKS_PER_WORKER tasks
+        self._run(est_pair, ckpt)  # n_workers=1 -> up to TASKS_PER_WORKER tasks
         journal = ckpt / "journal.jsonl"
         kept = journal.read_text().splitlines()[:2]  # header + 1 task
         journal.write_text("\n".join(kept) + "\n")
@@ -239,7 +263,7 @@ class TestCheckpointResume:
         assert res.counters.n_resumed == 1
         # The journal was re-completed: every task is recorded again.
         n_lines = len(journal.read_text().splitlines())
-        assert n_lines == 1 + TASKS_PER_WORKER
+        assert n_lines == 1 + n_tasks_for(TASKS_PER_WORKER)
 
     def test_resume_after_simulated_kill_mid_append(
         self, est_pair, serial_lines, tmp_path
@@ -270,7 +294,7 @@ class TestCheckpointResume:
             )
 
     def test_corrupt_chunk_is_recomputed(
-        self, est_pair, serial_lines, tmp_path
+        self, est_pair, serial_lines, tmp_path, n_tasks_for
     ):
         ckpt = tmp_path / "ckpt"
         self._run(est_pair, ckpt)
@@ -283,7 +307,7 @@ class TestCheckpointResume:
         with pytest.warns(RuntimeWarning, match="checksum"):
             res = self._run(est_pair, ckpt, resume=True)
         assert lines(res) == serial_lines
-        assert res.counters.n_resumed == TASKS_PER_WORKER - 1
+        assert res.counters.n_resumed == n_tasks_for(TASKS_PER_WORKER) - 1
 
     def test_resume_without_journal_starts_fresh(
         self, est_pair, serial_lines, tmp_path

@@ -94,13 +94,15 @@ class TestLinkedVsCsr:
         linked = LinkedSeedIndex.build(b, w)
         assert linked.n_indexed == csr.n_indexed
         for code in np.unique(csr.unique_codes):
-            assert linked.positions_of(int(code)) == list(csr.positions_of(int(code)))
+            got = linked.positions_of(int(code))
+            assert got.dtype == np.int64
+            np.testing.assert_array_equal(got, csr.positions_of(int(code)))
 
     def test_linked_chain_ascending(self):
         b = Bank.from_strings([("a", "ACACACACAC")])
         linked = LinkedSeedIndex.build(b, 2)
         pos = linked.positions_of(code_of_word("AC"))
-        assert pos == sorted(pos)
+        np.testing.assert_array_equal(pos, np.sort(pos))
 
 
 class TestCommonCodes:

@@ -1,0 +1,138 @@
+"""Unit tests for the shared-memory arena (repro.runtime.shm)."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.runtime.errors import ResourceExhausted
+from repro.runtime.shm import (
+    ArenaSpec,
+    SharedArena,
+    arena_prefix,
+    preflight_shm,
+    reap_stale_segments,
+    shm_dir,
+    shm_free_bytes,
+)
+
+requires_dev_shm = pytest.mark.skipif(
+    shm_dir() is None, reason="no /dev/shm on this platform"
+)
+
+
+def _arrays():
+    return {
+        "a": np.arange(100, dtype=np.int64),
+        "b": np.linspace(0.0, 1.0, 33),
+        "c": np.array([True, False, True]),
+        "d": np.arange(7, dtype=np.uint8),
+    }
+
+
+class TestSharedArena:
+    def test_round_trip_exact(self):
+        arrays = _arrays()
+        with SharedArena(dict(arrays)) as arena:
+            views = arena.spec.attach()
+            assert set(views) == set(arrays)
+            for name, arr in arrays.items():
+                np.testing.assert_array_equal(views[name], arr)
+                assert views[name].dtype == arr.dtype
+
+    def test_views_are_read_only(self):
+        with SharedArena(_arrays()) as arena:
+            views = arena.spec.attach()
+            with pytest.raises((ValueError, RuntimeError)):
+                views["a"][0] = 99
+
+    def test_segments_are_64_byte_aligned(self):
+        with SharedArena(_arrays()) as arena:
+            for entry in arena.spec.entries:
+                assert entry.offset % 64 == 0
+
+    def test_spec_pickle_is_tiny(self):
+        arrays = {"big": np.zeros(1_000_000, dtype=np.int64)}
+        with SharedArena(arrays) as arena:
+            blob = pickle.dumps(arena.spec)
+            assert len(blob) < 2048  # 8 MB of data, a few hundred bytes of spec
+            clone = pickle.loads(blob)
+            assert isinstance(clone, ArenaSpec)
+            assert clone.nbytes == 8_000_000
+
+    def test_attach_is_cached_per_process(self):
+        with SharedArena(_arrays()) as arena:
+            first = arena.spec.attach()
+            second = arena.spec.attach()
+            assert first["a"] is second["a"]
+
+    def test_close_is_idempotent(self):
+        arena = SharedArena(_arrays())
+        arena.close()
+        arena.close()  # must not raise
+
+    @requires_dev_shm
+    def test_close_unlinks_the_block(self):
+        arena = SharedArena(_arrays())
+        path = os.path.join(shm_dir(), arena.spec.block)
+        assert os.path.exists(path)
+        arena.close()
+        assert not os.path.exists(path)
+
+    def test_block_name_embeds_owner_pid(self):
+        with SharedArena(_arrays()) as arena:
+            prefix, pid, _token = arena.spec.block.split("_")
+            assert prefix == arena_prefix()
+            assert int(pid) == os.getpid()
+
+    def test_empty_arrays_supported(self):
+        with SharedArena({"z": np.empty(0, dtype=np.int64)}) as arena:
+            views = arena.spec.attach()
+            assert views["z"].size == 0
+
+
+class TestReap:
+    @requires_dev_shm
+    def test_reaps_blocks_of_dead_owners(self):
+        # Fabricate a block that claims a certainly-dead owner pid.
+        dead_pid = 2**22 - 3  # above any default pid_max's live range
+        name = f"{arena_prefix()}_{dead_pid}_deadbeef"
+        path = os.path.join(shm_dir(), name)
+        with open(path, "wb") as fh:
+            fh.write(b"\0" * 64)
+        try:
+            reaped = reap_stale_segments()
+            assert name in reaped
+            assert not os.path.exists(path)
+        finally:
+            if os.path.exists(path):
+                os.unlink(path)
+
+    @requires_dev_shm
+    def test_leaves_live_owner_blocks_alone(self):
+        with SharedArena(_arrays()) as arena:
+            assert arena.spec.block not in reap_stale_segments()
+            assert os.path.exists(os.path.join(shm_dir(), arena.spec.block))
+
+    @requires_dev_shm
+    def test_ignores_foreign_names(self):
+        path = os.path.join(shm_dir(), "not_ours_at_all")
+        with open(path, "wb") as fh:
+            fh.write(b"\0")
+        try:
+            assert "not_ours_at_all" not in reap_stale_segments()
+            assert os.path.exists(path)
+        finally:
+            os.unlink(path)
+
+
+class TestPreflight:
+    def test_absurd_requirement_raises(self):
+        if shm_free_bytes() is None:
+            pytest.skip("shm capacity unknown on this platform")
+        with pytest.raises(ResourceExhausted, match="shared-memory"):
+            preflight_shm(1 << 60)
+
+    def test_reasonable_requirement_passes(self):
+        preflight_shm(1)  # must not raise
