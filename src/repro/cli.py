@@ -24,6 +24,13 @@ Same comparison with the BLASTN-like baseline, both strands, stats::
 Survive dirty inputs and bounded memory::
 
     scoris-n messy.fa.gz bank2.fa --ingest lenient --memory-budget 2G
+
+Serve a resident subject bank and query it (``compare`` is implied when
+the first argument is not a subcommand, so existing invocations keep
+working)::
+
+    scoris-n serve bank2.fa --port 7878 --workers 4
+    scoris-n query queries.fa --port 7878 -o hits.m8
 """
 
 from __future__ import annotations
@@ -60,7 +67,13 @@ from .runtime.errors import (
     exit_code_for,
 )
 
-__all__ = ["main", "build_parser", "run"]
+__all__ = [
+    "main",
+    "build_parser",
+    "build_query_parser",
+    "build_serve_parser",
+    "run",
+]
 
 #: Cap on per-record diagnostic lines printed to stderr (the totals are
 #: always reported; this only bounds the line-by-line detail).
@@ -82,24 +95,7 @@ exit codes:
 """
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="scoris-n",
-        description="Intensive DNA bank comparison with the ORIS algorithm "
-        "(reproduction of Lavenier, HiCOMB 2008).",
-        epilog=_EXIT_CODE_EPILOG,
-        formatter_class=argparse.RawDescriptionHelpFormatter,
-    )
-    parser.add_argument("bank1", help="first bank (FASTA, optionally gzip); the query side")
-    parser.add_argument("bank2", help="second bank (FASTA, optionally gzip); the subject side")
-    parser.add_argument(
-        "-o", "--output", default="-",
-        help="output file for -m8 records (default: stdout)",
-    )
-    parser.add_argument(
-        "--engine", choices=("oris", "blastn", "blat", "blastz"), default="oris",
-        help="comparison engine (default: oris)",
-    )
+def _add_ingest_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--ingest", choices=POLICIES, default="strict", metavar="POLICY",
         help="ingestion policy for malformed/ambiguous FASTA: 'strict' "
@@ -108,6 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
         "uppercased, gaps stripped) and drops the rest with warnings, "
         "'skip' drops any problematic record whole (default: strict)",
     )
+
+
+def _add_seed_args(parser: argparse.ArgumentParser) -> None:
+    """Seeding/reporting parameters shared by compare and serve."""
     parser.add_argument(
         "-W", "--word-size", type=int, default=11,
         help="seed width (paper default: 11)",
@@ -117,22 +117,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="report threshold on e-values (paper runs use 1e-3)",
     )
     parser.add_argument(
-        "--strand", choices=("plus", "both"), default="plus",
-        help="search single strand (paper prototype) or both",
-    )
-    parser.add_argument(
         "--filter", choices=("dust", "entropy", "none"), default="dust",
         dest="filter_kind", help="low-complexity filter before indexing",
     )
     parser.add_argument(
-        "--asymmetric", action="store_true",
-        help="ORIS only: the paper's asymmetric 10-nt indexing (section 3.4)",
+        "--sort", choices=("evalue", "score", "coords"), default="evalue",
+        help="output sort criterion (paper step 4; default evalue)",
     )
-    parser.add_argument(
-        "--spaced-seed", default=None, metavar="MASK",
-        help="ORIS only: spaced-seed mask, e.g. 111010010100110111 "
-        "(PatternHunter weight-11); overrides -W",
-    )
+
+
+def _add_scoring_args(parser: argparse.ArgumentParser) -> None:
+    """Alignment scoring parameters shared by compare and serve."""
     parser.add_argument(
         "--match", type=int, default=1, help="match score (default 1)"
     )
@@ -152,10 +147,103 @@ def build_parser() -> argparse.ArgumentParser:
         "--band-radius", type=int, default=16,
         help="gapped extension band half-width (default 16)",
     )
+
+
+def _add_index_cache_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--sort", choices=("evalue", "score", "coords"), default="evalue",
-        help="output sort criterion (paper step 4; default evalue)",
+        "--index-cache", default=None, metavar="DIR",
+        help="cache built seed indexes in DIR keyed by bank content + "
+        "parameters; repeat runs over the same banks load the index O(1) "
+        "via mmap instead of rebuilding it (standard contiguous seeds "
+        "only; spaced/asymmetric runs bypass the cache)",
     )
+    parser.add_argument(
+        "--index-cache-max-bytes", default=None, metavar="SIZE",
+        help="cap the --index-cache directory (e.g. 512M, 2G); archives "
+        "are evicted least-recently-used after each store until the "
+        "total fits (default: unbounded)",
+    )
+
+
+def _add_obs_args(
+    parser: argparse.ArgumentParser, profile: bool = True
+) -> None:
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print per-step timings, work counters, the hit/extension "
+        "funnel, ingestion and resource-governor reports to stderr",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a JSONL trace of pipeline spans (one event per "
+        "span close, with pid/parent/depth/duration) to FILE; worker "
+        "processes append to the same file",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE", dest="metrics_out",
+        help="write a machine-readable JSON metrics snapshot (funnel "
+        "counts, per-step timings, histograms) to FILE",
+    )
+    if profile:
+        parser.add_argument(
+            "--profile", choices=("none", "cprofile"), default="none",
+            help="profile the run with cProfile: each process dumps pstats "
+            "into --profile-out and a merged top-25 report is printed to "
+            "stderr (default: none)",
+        )
+        parser.add_argument(
+            "--profile-out", default=".scoris-profile", metavar="DIR",
+            help="directory for per-process .pstats dumps under --profile "
+            "(default: .scoris-profile)",
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``compare`` parser -- also the implicit default subcommand.
+
+    Kept flag-for-flag compatible with the pre-subcommand CLI: every
+    historical ``scoris-n bank1.fa bank2.fa ...`` invocation parses
+    unchanged.
+    """
+    parser = argparse.ArgumentParser(
+        prog="scoris-n",
+        description="Intensive DNA bank comparison with the ORIS algorithm "
+        "(reproduction of Lavenier, HiCOMB 2008).  Subcommands: 'compare' "
+        "(default, two banks -> m8), 'serve' (resident query daemon), "
+        "'query' (client for a running daemon).",
+        epilog=_EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "bank1", help="first bank (FASTA, optionally gzip); the query side"
+    )
+    parser.add_argument(
+        "bank2", help="second bank (FASTA, optionally gzip); the subject side"
+    )
+    parser.add_argument(
+        "-o", "--output", default="-",
+        help="output file for -m8 records (default: stdout)",
+    )
+    parser.add_argument(
+        "--engine", choices=("oris", "blastn", "blat", "blastz"), default="oris",
+        help="comparison engine (default: oris)",
+    )
+    _add_ingest_arg(parser)
+    _add_seed_args(parser)
+    parser.add_argument(
+        "--strand", choices=("plus", "both"), default="plus",
+        help="search single strand (paper prototype) or both",
+    )
+    parser.add_argument(
+        "--asymmetric", action="store_true",
+        help="ORIS only: the paper's asymmetric 10-nt indexing (section 3.4)",
+    )
+    parser.add_argument(
+        "--spaced-seed", default=None, metavar="MASK",
+        help="ORIS only: spaced-seed mask, e.g. 111010010100110111 "
+        "(PatternHunter weight-11); overrides -W",
+    )
+    _add_scoring_args(parser)
     parser.add_argument(
         "--memory-budget", default=None, metavar="SIZE",
         help="ORIS only: memory ceiling (e.g. 512M, 2G).  When the "
@@ -209,40 +297,111 @@ def build_parser() -> argparse.ArgumentParser:
         "pre-arena behaviour; also the automatic fallback when /dev/shm "
         "cannot hold the arena)",
     )
+    _add_index_cache_args(parser)
+    _add_obs_args(parser)
     parser.add_argument(
-        "--index-cache", default=None, metavar="DIR",
-        help="ORIS only: cache built seed indexes in DIR keyed by bank "
-        "content + parameters; repeat runs over the same banks load the "
-        "index O(1) via mmap instead of rebuilding it (standard "
-        "contiguous seeds only; spaced/asymmetric runs bypass the cache)",
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    return parser
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Parser for ``scoris-n serve`` (the resident query daemon)."""
+    parser = argparse.ArgumentParser(
+        prog="scoris-n serve",
+        description="Load and index a subject bank once, then answer "
+        "query requests over a socket until SIGTERM.  The bound address "
+        "is announced on stdout as 'SERVE READY host=H port=P'.",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
-        "--stats", action="store_true",
-        help="print per-step timings, work counters, the hit/extension "
-        "funnel, ingestion and resource-governor reports to stderr",
+        "bank", help="subject bank to serve (FASTA, optionally gzip)"
     )
     parser.add_argument(
-        "--trace", default=None, metavar="FILE",
-        help="write a JSONL trace of pipeline spans (one event per "
-        "span close, with pid/parent/depth/duration) to FILE; worker "
-        "processes append to the same file",
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
     )
     parser.add_argument(
-        "--metrics", default=None, metavar="FILE", dest="metrics_out",
-        help="write a machine-readable JSON metrics snapshot (funnel "
-        "counts, per-step timings, histograms) to FILE",
+        "--port", type=int, default=0,
+        help="bind port (default 0 = pick a free port; see the READY line)",
     )
     parser.add_argument(
-        "--profile", choices=("none", "cprofile"), default="none",
-        help="profile the run with cProfile: each process dumps pstats "
-        "into --profile-out and a merged top-25 report is printed to "
-        "stderr (default: none)",
+        "--workers", type=int, default=1, metavar="N",
+        help="persistent worker processes for step 2 (default 1 = serial)",
     )
     parser.add_argument(
-        "--profile-out", default=".scoris-profile", metavar="DIR",
-        help="directory for per-process .pstats dumps under --profile "
-        "(default: .scoris-profile)",
+        "--no-shm", action="store_true",
+        help="disable the shared-memory arena and ship each worker a "
+        "pickled copy of the payload instead",
     )
+    batching = parser.add_argument_group("micro-batching")
+    batching.add_argument(
+        "--max-delay-ms", type=float, default=25.0, metavar="MS",
+        help="how long the batcher waits for co-batchable queries after "
+        "the first one arrives (default 25)",
+    )
+    batching.add_argument(
+        "--max-batch-nt", type=int, default=2_000_000, metavar="NT",
+        help="residue budget per batch (default 2000000)",
+    )
+    batching.add_argument(
+        "--max-batch-queries", type=int, default=64, metavar="N",
+        help="query count cap per batch (default 64)",
+    )
+    admission = parser.add_argument_group("admission control")
+    admission.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="in-flight request cap; excess requests are shed with a "
+        "clean 'shed' status (default 64)",
+    )
+    admission.add_argument(
+        "--max-query-nt", type=int, default=1_000_000, metavar="NT",
+        help="per-query size cap (default 1000000)",
+    )
+    admission.add_argument(
+        "--request-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="default server-side deadline per query (default 60)",
+    )
+    admission.add_argument(
+        "--no-memory-check", action="store_true",
+        help="skip the governor's available-memory preflight on admission",
+    )
+    _add_ingest_arg(parser)
+    _add_seed_args(parser)
+    _add_scoring_args(parser)
+    _add_index_cache_args(parser)
+    _add_obs_args(parser, profile=False)
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    return parser
+
+
+def build_query_parser() -> argparse.ArgumentParser:
+    """Parser for ``scoris-n query`` (client for a running daemon)."""
+    parser = argparse.ArgumentParser(
+        prog="scoris-n query",
+        description="Send the sequences of a FASTA file to a running "
+        "'scoris-n serve' daemon and collect their -m8 records.",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "queries", help="query sequences (FASTA, optionally gzip)"
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="daemon address (default: loopback)"
+    )
+    parser.add_argument(
+        "--port", type=int, required=True, help="daemon port (see READY line)"
+    )
+    parser.add_argument(
+        "-o", "--output", default="-",
+        help="output file for -m8 records (default: stdout)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="per-query deadline, applied on both sides (default 60)",
+    )
+    _add_ingest_arg(parser)
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
@@ -264,6 +423,32 @@ def _print_diagnostics(diagnostics, limit: int = _MAX_DIAGNOSTIC_LINES) -> None:
         )
 
 
+def _make_index_cache(args):
+    """Resolve ``--index-cache``/``--index-cache-max-bytes`` flags.
+
+    Returns ``(exit_code, cache)``: the exit code is ``None`` unless the
+    flag combination is invalid, the cache is ``None`` when not requested.
+    """
+    from .runtime.governor import parse_size
+
+    if args.index_cache_max_bytes is not None and args.index_cache is None:
+        return (
+            _fail_usage("--index-cache-max-bytes requires --index-cache DIR"),
+            None,
+        )
+    max_bytes = None
+    if args.index_cache_max_bytes is not None:
+        try:
+            max_bytes = parse_size(args.index_cache_max_bytes)
+        except ValueError as exc:
+            return _fail_usage(f"--index-cache-max-bytes: {exc}"), None
+    if args.index_cache is None:
+        return None, None
+    from .index import IndexCache
+
+    return None, IndexCache(args.index_cache, max_bytes=max_bytes)
+
+
 def _load_banks(args) -> tuple:
     """Ingest both banks under the chosen policy, reporting warnings."""
     reports: list[IngestReport] = []
@@ -277,18 +462,41 @@ def _load_banks(args) -> tuple:
     return banks[0], banks[1], reports
 
 
+#: Recognised first tokens; anything else is an implicit ``compare``.
+_SUBCOMMANDS = ("compare", "serve", "query")
+
+
 def run(argv: list[str] | None = None) -> int:
     """Entry point logic; returns the process exit code.
+
+    The first argument selects a subcommand (``compare``, ``serve``,
+    ``query``); any other first argument -- including every historical
+    two-bank invocation -- is parsed as an implicit ``compare``.
 
     Every failure the pipeline can recognise maps onto a documented exit
     code (see ``--help``) with a structured message on stderr -- never a
     traceback.  Genuinely unexpected exceptions still propagate, because
     hiding an unknown bug behind exit 1 would make it undiagnosable.
     """
-    args = build_parser().parse_args(argv)
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        command, rest = argv[0], argv[1:]
+    else:
+        command, rest = "compare", argv
+    if command == "serve":
+        args = build_serve_parser().parse_args(rest)
+        execute = _execute_serve
+    elif command == "query":
+        args = build_query_parser().parse_args(rest)
+        execute = _execute_query
+    else:
+        args = build_parser().parse_args(rest)
+        execute = _execute
     try:
         try:
-            return _execute(args)
+            return execute(args)
         finally:
             # The tracer is module-global state; never leak it past one
             # CLI invocation (tests call run() many times per process).
@@ -353,11 +561,9 @@ def _execute(args) -> int:
         return _fail_usage("--tile-overlap must be >= 0")
     if args.index_cache is not None and args.engine != "oris":
         return _fail_usage("--index-cache requires --engine oris")
-    index_cache = None
-    if args.index_cache is not None:
-        from .index import IndexCache
-
-        index_cache = IndexCache(args.index_cache)
+    error, index_cache = _make_index_cache(args)
+    if error is not None:
+        return error
 
     import os
 
@@ -520,6 +726,146 @@ def _execute(args) -> int:
             print(report, file=sys.stderr)
     if args.stats:
         _print_stats(args, result, plan, ingest_reports, use_runtime)
+    return EXIT_OK
+
+
+def _execute_serve(args) -> int:
+    import os
+
+    from .obs import ObsSpec, configure_tracing
+    from .runtime.scheduler import ShutdownRequest, signal_shutdown
+    from .serve import OrisDaemon, ServeConfig
+
+    if args.workers < 1:
+        return _fail_usage("--workers must be >= 1")
+    error, index_cache = _make_index_cache(args)
+    if error is not None:
+        return error
+    obs = ObsSpec(
+        trace_path=os.path.abspath(args.trace) if args.trace else None,
+    )
+    if obs.trace_path is not None:
+        configure_tracing(obs.trace_path)
+
+    bank2, report = load_bank(args.bank, policy=args.ingest)
+    if report.warnings:
+        _print_diagnostics(report.warnings)
+    params = OrisParams(
+        w=args.word_size,
+        scoring=ScoringScheme(
+            match=args.match,
+            mismatch=args.mismatch,
+            xdrop_ungapped=args.xdrop,
+            xdrop_gapped=args.xdrop_gapped,
+        ),
+        filter_kind=args.filter_kind,
+        max_evalue=args.evalue,
+        band_radius=args.band_radius,
+        sort_key=args.sort,
+    )
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            n_workers=args.workers,
+            max_delay_ms=args.max_delay_ms,
+            max_batch_nt=args.max_batch_nt,
+            max_batch_queries=args.max_batch_queries,
+            max_queue=args.max_queue,
+            max_query_nt=args.max_query_nt,
+            request_timeout_s=args.request_timeout,
+            use_shm=not args.no_shm,
+            check_memory=not args.no_memory_check,
+        )
+    except ValueError as exc:
+        return _fail_usage(str(exc))
+    stop = ShutdownRequest()
+    daemon = OrisDaemon(
+        bank2, params, config, index_cache=index_cache, obs=obs, stop=stop
+    )
+    try:
+        daemon.start()
+        print(daemon.ready_message(), flush=True)
+        with signal_shutdown(stop):
+            code = daemon.serve_forever()
+    finally:
+        daemon.shutdown()
+    if index_cache is not None:
+        index_cache.record_metrics(daemon.registry)
+    if args.metrics_out is not None:
+        _write_serve_metrics(args.metrics_out, daemon.registry)
+    if args.stats:
+        _print_serve_stats(daemon.registry)
+    return code
+
+
+def _write_serve_metrics(path: str, registry) -> None:
+    import json
+
+    snapshot = {"schema": "scoris-serve-metrics/1", **registry.as_dict()}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _print_serve_stats(registry) -> None:
+    """Service roll-up on stderr after a drain (mirrors --stats)."""
+    snapshot = registry.as_dict()
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    served = {k: v for k, v in sorted(counters.items())}
+    if served:
+        pairs = " ".join(f"{k.split('.')[-1]}={v}" for k, v in served.items()
+                         if k.startswith("serve.") or k.startswith("index."))
+        print(f"# serve counters: {pairs}", file=sys.stderr)
+    if "serve.queue_depth" in gauges:
+        print(
+            f"# serve queue depth (last): {gauges['serve.queue_depth']['value']}",
+            file=sys.stderr,
+        )
+    for name in ("serve.batch_size", "serve.batch_latency_seconds"):
+        h = histograms.get(name)
+        if h and h.get("count"):
+            mean = h["total"] / h["count"]
+            print(
+                f"# {name}: n={h['count']} mean={mean:.4g} max={h['max']:.4g}",
+                file=sys.stderr,
+            )
+
+
+def _execute_query(args) -> int:
+    from .io.m8 import M8Writer
+    from .io.validate import validate_records
+    from .serve.client import OrisClient, ServiceError
+    from .serve.protocol import ProtocolError
+
+    records, report = validate_records(args.queries, policy=args.ingest)
+    if report.warnings:
+        _print_diagnostics(report.warnings)
+    if not records:
+        print("scoris-n: no query sequences to send", file=sys.stderr)
+        return EXIT_INPUT
+    try:
+        with OrisClient(args.host, args.port, timeout=args.timeout + 5.0) as client:
+            if args.output == "-":
+                writer = M8Writer(sys.stdout)
+            else:
+                writer = M8Writer(args.output)
+            with writer:
+                for name, sequence in records:
+                    writer.write_text(
+                        client.query(name, sequence, timeout_s=args.timeout)
+                    )
+    except (ServiceError, ProtocolError) as exc:
+        print(f"scoris-n: query failed: {exc}", file=sys.stderr)
+        return EXIT_RESOURCE
+    except ConnectionError as exc:
+        print(
+            f"scoris-n: cannot reach daemon at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return EXIT_RESOURCE
     return EXIT_OK
 
 

@@ -293,7 +293,9 @@ class ShmRangePayload:
 
 
 def publish_range_payload(
-    payload: RangePayload, registry: MetricsRegistry | None = None
+    payload: RangePayload,
+    registry: MetricsRegistry | None = None,
+    base_spec=None,
 ):
     """Copy a payload's arrays into a shared-memory arena, once.
 
@@ -303,19 +305,38 @@ def publish_range_payload(
     parent may unlink as soon as the pool is done.  Raises
     :class:`~repro.runtime.errors.ResourceExhausted` when ``/dev/shm``
     cannot hold the arrays; callers degrade to the pickled payload.
-    """
-    from ..runtime.shm import SharedArena
 
-    arrays = {f: getattr(payload, f) for f in _PAYLOAD_ARRAY_FIELDS}
+    ``base_spec`` is an already-published
+    :class:`~repro.runtime.shm.ArenaSpec` whose fields should *not* be
+    copied again: the serving daemon publishes the big subject-side
+    arrays once at startup and every micro-batch then only pays for its
+    small query-side arrays.  The returned payload carries an
+    :class:`~repro.runtime.shm.ArenaGroupSpec` joining both blocks.
+    """
+    from ..runtime.shm import ArenaGroupSpec, SharedArena
+
+    base_fields = (
+        {e.field for e in base_spec.entries} if base_spec is not None else set()
+    )
+    arrays = {
+        f: getattr(payload, f)
+        for f in _PAYLOAD_ARRAY_FIELDS
+        if f not in base_fields
+    }
     for f in _PAYLOAD_OPTIONAL_FIELDS:
         arr = getattr(payload, f)
-        if arr is not None:
+        if arr is not None and f not in base_fields:
             arrays[f] = arr
     arena = SharedArena(arrays)
     if registry is not None:
         registry.inc("shm.bytes_published", arena.nbytes)
+    spec = (
+        arena.spec
+        if base_spec is None
+        else ArenaGroupSpec(specs=(base_spec, arena.spec))
+    )
     shm_payload = ShmRangePayload(
-        spec=arena.spec,
+        spec=spec,
         span=payload.span,
         spaced=payload.spaced,
         params=payload.params,

@@ -387,14 +387,24 @@ class IndexCache:
 
     Hit/miss totals accumulate on the instance; :meth:`record_metrics`
     folds them into a run's registry as ``index.cache_hit`` /
-    ``index.cache_miss``.
+    ``index.cache_miss`` (and ``index.cache_evicted`` when capped).
+
+    ``max_bytes`` caps the cache directory: after each store, archives
+    are evicted oldest-access-first until the total size fits.  Hits
+    refresh an archive's access time, so the policy is LRU over whole
+    archives.  Eviction only ever considers ``*.scoris3`` files -- a
+    cache directory pointed at pre-existing data will not eat it.
     """
 
-    def __init__(self, directory):
+    def __init__(self, directory, max_bytes: int | None = None):
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 (or None for unbounded)")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evicted = 0
 
     def key(self, bank: Bank, w: int, filter_kind: str | None) -> str:
         """Content hash of one (bank, parameters) combination."""
@@ -422,13 +432,55 @@ class IndexCache:
                 path.unlink(missing_ok=True)  # self-heal: rebuild below
             else:
                 self.hits += 1
+                self._touch(path)
                 return index
         self.misses += 1
         index = CsrSeedIndex(bank, w, make_filter_mask(bank, filter_kind))
         tmp = path.with_suffix(".tmp")
         _save_v3(tmp, index)
         os.replace(tmp, path)  # atomic publish: readers never see a torn file
+        self._evict(keep=path)
         return index
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh access time so LRU eviction sees the hit (filesystems
+        mounted ``noatime`` would otherwise never update it on mmap)."""
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - cache dir raced away
+            pass
+
+    def _evict(self, keep: Path | None = None) -> None:
+        """Drop least-recently-used archives until the cap is satisfied.
+
+        The just-stored archive (*keep*) is exempt: storing an index
+        larger than the cap evicts everything else but still leaves the
+        new archive usable for the run that built it.
+        """
+        if self.max_bytes is None:
+            return
+        entries = []
+        total = 0
+        for candidate in self.directory.glob("*.scoris3"):
+            try:
+                st = candidate.stat()
+            except OSError:
+                continue  # concurrently evicted by another process
+            entries.append((st.st_atime, st.st_size, candidate))
+            total += st.st_size
+        entries.sort()  # oldest access first
+        for _atime, size, candidate in entries:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and candidate == keep:
+                continue
+            try:
+                candidate.unlink()
+            except OSError:
+                continue  # lost the race; its size no longer counts either
+            total -= size
+            self.evicted += 1
 
     def record_metrics(self, registry) -> None:
         """Fold hit/miss totals into a :class:`MetricsRegistry`."""
@@ -436,3 +488,5 @@ class IndexCache:
             registry.inc("index.cache_hit", self.hits)
         if self.misses:
             registry.inc("index.cache_miss", self.misses)
+        if self.evicted:
+            registry.inc("index.cache_evicted", self.evicted)

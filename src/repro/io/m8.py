@@ -21,7 +21,14 @@ import math
 from dataclasses import dataclass
 from collections.abc import Iterable, Iterator
 
-__all__ = ["M8Record", "parse_m8", "read_m8", "write_m8", "format_m8"]
+__all__ = [
+    "M8Record",
+    "M8Writer",
+    "parse_m8",
+    "read_m8",
+    "write_m8",
+    "format_m8",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -144,6 +151,67 @@ def write_m8(path, records: Iterable[M8Record]) -> None:
     """Write records to an ``-m 8`` file."""
     with open(path, "w", encoding="ascii") as fh:
         fh.write(format_m8(records))
+
+
+class M8Writer:
+    """Incremental ``-m 8`` writer for streaming producers.
+
+    :func:`write_m8` needs the full record list up front; a resident
+    service (or a long resilient run emitting results batch by batch)
+    wants to append slices as they arrive without holding the whole
+    output in memory.  Accepts records, pre-formatted text blocks, or
+    both, in any interleaving -- the bytes on disk are identical to one
+    :func:`write_m8` call with the same records in the same order.
+
+    Usable as a context manager::
+
+        with M8Writer(path) as out:
+            out.write_records(batch_one)
+            out.write_text(served_m8_slice)
+    """
+
+    def __init__(self, target):
+        """*target* is a path (opened/closed by the writer) or an open
+        text file object (borrowed; the caller keeps ownership)."""
+        if hasattr(target, "write"):
+            self._fh = target
+            self._owns = False
+        else:
+            self._fh = open(target, "w", encoding="ascii")
+            self._owns = True
+        self.n_records = 0
+
+    def write_record(self, record: M8Record) -> None:
+        self._fh.write(record.to_line() + "\n")
+        self.n_records += 1
+
+    def write_records(self, records: Iterable[M8Record]) -> None:
+        for record in records:
+            self.write_record(record)
+
+    def write_text(self, m8_text: str) -> None:
+        """Append pre-formatted ``-m 8`` text (e.g. a served slice)."""
+        if not m8_text:
+            return
+        if not m8_text.endswith("\n"):
+            raise ValueError("m8 text must end with a newline")
+        self._fh.write(m8_text)
+        self.n_records += m8_text.count("\n")
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+        else:
+            self._fh.flush()
+
+    def __enter__(self) -> "M8Writer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
 
 def iter_m8(path) -> Iterator[M8Record]:

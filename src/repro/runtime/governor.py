@@ -291,6 +291,38 @@ def preflight_disk(directory, required_bytes: int) -> int:
     return free
 
 
+def available_memory_bytes() -> int | None:
+    """System memory currently available without swapping (``None`` unknown).
+
+    Reads ``MemAvailable`` from ``/proc/meminfo`` (Linux's own estimate of
+    how much anonymous memory can be allocated before reclaim hurts).
+    The serving admission controller sheds load against this number so a
+    burst of large queries degrades into 429s instead of an OOM kill of a
+    daemon holding a warm multi-gigabyte index.
+    """
+    try:
+        with open("/proc/meminfo", "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+def estimate_batch_bytes(batch_nt: int, n_workers: int = 1) -> int:
+    """Rough peak footprint of serving one micro-batch of ``batch_nt`` nt.
+
+    The query-side index (built fresh per batch) plus the per-batch
+    arena copy plus per-worker extension lanes.  Like every governor
+    estimate this is deliberately generous -- its job is to shed load
+    *before* the allocation, not to be tight.
+    """
+    index = estimate_index_bytes(batch_nt)
+    lanes = 4 * 1024 * 1024 * max(n_workers, 1)
+    return 2 * index + lanes
+
+
 def rss_peak_bytes() -> int:
     """Peak resident set size of this process, in bytes (0 if unknown).
 

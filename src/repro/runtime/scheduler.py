@@ -67,6 +67,7 @@ from .errors import PoolUnhealthy, ResourceExhausted, RunInterrupted, TaskPoison
 __all__ = [
     "RuntimeConfig",
     "TaskScheduler",
+    "WorkerPool",
     "ShutdownRequest",
     "signal_shutdown",
     "compare_resilient",
@@ -217,7 +218,14 @@ class RuntimeConfig:
         return 2 * self.n_workers + 2
 
 
-def _scheduler_worker(payload: RangePayload | ShmRangePayload, conn) -> None:
+def _payload_blocks(payload: RangePayload | ShmRangePayload | None) -> set[str]:
+    """Shared-memory block names a worker payload maps (empty when none)."""
+    if isinstance(payload, ShmRangePayload):
+        return set(getattr(payload.spec, "blocks", ()))
+    return set()
+
+
+def _scheduler_worker(payload: RangePayload | ShmRangePayload | None, conn) -> None:
     """Worker loop: recv (task_id, lo, hi), run it, send the outcome.
 
     Sends ``(task_id, "ok", result)`` or ``(task_id, "error", repr)``
@@ -226,6 +234,12 @@ def _scheduler_worker(payload: RangePayload | ShmRangePayload, conn) -> None:
     private to this worker, and ``Connection.send`` writes synchronously
     in the calling thread (unlike ``mp.Queue``'s background feeder), so
     a crash can never orphan a lock another worker needs.
+
+    A long-lived pool worker (see :class:`WorkerPool`) is started with
+    ``payload=None`` and receives ``("payload", payload)`` messages
+    between batches; switching payloads detaches any shared-memory
+    blocks the previous one mapped, so a resident process never pins a
+    dead batch's pages.
     """
     try:
         # Ctrl-C delivers SIGINT to the whole foreground process group;
@@ -241,8 +255,18 @@ def _scheduler_worker(payload: RangePayload | ShmRangePayload, conn) -> None:
             return  # parent closed its end: shut down
         if item is None:
             return
+        if isinstance(item, tuple) and item and item[0] == "payload":
+            from .shm import detach_block
+
+            new_payload = item[1]
+            for name in _payload_blocks(payload) - _payload_blocks(new_payload):
+                detach_block(name)
+            payload = new_payload
+            continue
         task_id, lo, hi = item
         try:
+            if payload is None:
+                raise RuntimeError("worker received a task before any payload")
             result = run_range(payload, lo, hi)
         except Exception as exc:  # noqa: BLE001 - forwarded to the parent
             conn.send((task_id, "error", repr(exc)))
@@ -255,7 +279,7 @@ class _Worker:
 
     __slots__ = ("proc", "conn", "task_id", "deadline", "assigned_at")
 
-    def __init__(self, ctx, payload: RangePayload | ShmRangePayload):
+    def __init__(self, ctx, payload: RangePayload | ShmRangePayload | None):
         self.conn, child = ctx.Pipe(duplex=True)
         self.proc = ctx.Process(
             target=_scheduler_worker,
@@ -271,6 +295,13 @@ class _Worker:
     @property
     def idle(self) -> bool:
         return self.task_id is None
+
+    def set_payload(self, payload: RangePayload | ShmRangePayload) -> None:
+        """Ship a (new) payload to a long-lived pool worker."""
+        try:
+            self.conn.send(("payload", payload))
+        except (BrokenPipeError, OSError):
+            pass  # worker already dead: the pool's liveness check respawns
 
     def assign(self, task_id: int, lo: int, hi: int, timeout: float | None) -> None:
         self.task_id = task_id
@@ -307,6 +338,86 @@ class _Worker:
         self.kill()
 
 
+class WorkerPool:
+    """Persistent step-2 workers reused across many scheduler runs.
+
+    A batch run spawns workers, uses them, and stops them; a resident
+    service (``repro.serve``) would pay that spawn cost on every batch.
+    ``WorkerPool`` keeps the processes alive between batches instead:
+    workers are started with *no* payload and primed per batch with a
+    ``("payload", ...)`` pipe message (see :func:`_scheduler_worker`),
+    which also detaches any shared-memory blocks the previous batch
+    mapped.  Pass a pool to :class:`TaskScheduler` and it leases workers
+    from it instead of spawning its own, reclaiming the survivors
+    afterwards; dead workers are pruned and replaced on the next lease.
+    """
+
+    def __init__(self, n_workers: int, start_method: str | None = None):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self.method = (
+            resolve_start_method(start_method) if n_workers > 1 else None
+        )
+        self.ctx = mp.get_context(self.method) if self.method else None
+        self._workers: list[_Worker] = []
+
+    @property
+    def usable(self) -> bool:
+        """Whether multiprocessing is available on this platform."""
+        return self.ctx is not None
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def spawn(self, payload: RangePayload | ShmRangePayload) -> _Worker:
+        """Start one fresh worker and prime it with *payload*."""
+        w = _Worker(self.ctx, None)
+        w.set_payload(payload)
+        return w
+
+    def lease(
+        self, payload: RangePayload | ShmRangePayload, n: int
+    ) -> list[_Worker]:
+        """Hand out *n* live workers primed with *payload*.
+
+        Surviving workers from the previous batch are reused (and
+        re-primed); dead ones are pruned; the pool tops itself up with
+        fresh spawns.  The caller must :meth:`reclaim` or the workers
+        are orphaned.
+        """
+        alive: list[_Worker] = []
+        for w in self._workers:
+            if w.proc.is_alive() and len(alive) < n:
+                alive.append(w)
+            else:
+                w.kill()
+        self._workers = []
+        for w in alive:
+            w.release()
+            w.set_payload(payload)
+        while len(alive) < n:
+            alive.append(self.spawn(payload))
+        return alive
+
+    def reclaim(self, workers: list[_Worker]) -> None:
+        """Take workers back after a batch; dead ones are discarded."""
+        survivors: list[_Worker] = []
+        for w in workers:
+            if w.proc.is_alive():
+                w.release()
+                survivors.append(w)
+            else:
+                w.kill()
+        self._workers = survivors
+
+    def stop(self) -> None:
+        """Terminate every pooled worker (daemon shutdown)."""
+        for w in self._workers:
+            w.stop()
+        self._workers = []
+
+
 class TaskScheduler:
     """Supervises range tasks across a pool of worker processes."""
 
@@ -320,6 +431,7 @@ class TaskScheduler:
         completed: dict[int, RangeResult] | None = None,
         stop: ShutdownRequest | None = None,
         registry: MetricsRegistry | None = None,
+        pool: WorkerPool | None = None,
     ):
         self.payload = payload
         self.tasks = dict(enumerate(ranges))
@@ -332,6 +444,7 @@ class TaskScheduler:
         self.completed: dict[int, RangeResult] = dict(completed or {})
         self.skipped: list[int] = []
         self.stop = stop if stop is not None else ShutdownRequest()
+        self.pool = pool
         self._failures: dict[int, int] = {}
         self._seq = itertools.count()
 
@@ -405,11 +518,12 @@ class TaskScheduler:
         todo = [tid for tid in self.tasks if tid not in self.completed]
         if not todo:
             return self.completed
-        method = (
-            resolve_start_method(self.config.start_method)
-            if self.config.n_workers > 1
-            else None
-        )
+        method: str | None = None
+        if self.config.n_workers > 1:
+            if self.pool is not None:
+                method = self.pool.method
+            else:
+                method = resolve_start_method(self.config.start_method)
         if method is None:
             # Serial mode (single worker or no usable start method):
             # still checkpointed, still quarantine-protected, and still
@@ -476,13 +590,20 @@ class TaskScheduler:
             w.stop()
         workers.clear()
 
+    def _spawn_worker(self, ctx) -> _Worker:
+        """One replacement worker (pool-primed when leasing from a pool)."""
+        if self.pool is not None:
+            return self.pool.spawn(self.payload)
+        return _Worker(ctx, self.payload)
+
     def _run_pool(self, todo: list[int], method: str) -> None:
         cfg = self.config
         ctx = mp.get_context(method)
         n_procs = min(cfg.n_workers, len(todo))
-        workers: list[_Worker] = [
-            _Worker(ctx, self.payload) for _ in range(n_procs)
-        ]
+        if self.pool is not None:
+            workers = self.pool.lease(self.payload, n_procs)
+        else:
+            workers = [_Worker(ctx, self.payload) for _ in range(n_procs)]
         # Ready heap: (eligible_time, seq, task_id, enqueued_at); the
         # enqueue timestamp feeds the queue-wait histogram at dispatch.
         enqueue_t = time.monotonic()
@@ -583,7 +704,7 @@ class TaskScheduler:
                             # Idle worker died (e.g. fault between tasks):
                             # just replace it.
                             w.kill()
-                            workers[i] = _Worker(ctx, self.payload)
+                            workers[i] = self._spawn_worker(ctx)
                         continue
                     now = time.monotonic()
                     if not w.proc.is_alive():
@@ -591,7 +712,7 @@ class TaskScheduler:
                         self.registry.inc("scheduler.crashes")
                         tid = w.task_id
                         w.kill()
-                        workers[i] = _Worker(ctx, self.payload)
+                        workers[i] = self._spawn_worker(ctx)
                         w.task_id = tid
                         fail(w, "crash", "worker process died")
                     elif w.deadline is not None and now > w.deadline:
@@ -599,7 +720,7 @@ class TaskScheduler:
                         self.registry.inc("scheduler.timeouts")
                         tid = w.task_id
                         w.kill()
-                        workers[i] = _Worker(ctx, self.payload)
+                        workers[i] = self._spawn_worker(ctx)
                         w.task_id = tid
                         fail(w, "timeout", "task exceeded its deadline")
                 # 4. Pool health: degrade to in-parent execution.
@@ -628,8 +749,11 @@ class TaskScheduler:
                     break
                 outstanding -= set(self.completed) | set(self.skipped)
         finally:
-            for w in workers:
-                w.stop()
+            if self.pool is not None:
+                self.pool.reclaim(workers)
+            else:
+                for w in workers:
+                    w.stop()
 
 
 # --------------------------------------------------------------------- #

@@ -46,10 +46,12 @@ from .errors import ResourceExhausted
 
 __all__ = [
     "ArenaEntry",
+    "ArenaGroupSpec",
     "ArenaSpec",
     "SharedArena",
     "arena_prefix",
     "attach_block",
+    "detach_block",
     "preflight_shm",
     "reap_stale_segments",
     "shm_dir",
@@ -228,6 +230,11 @@ class ArenaSpec:
         """Total published payload bytes (excluding alignment padding)."""
         return sum(e.nbytes for e in self.entries)
 
+    @property
+    def blocks(self) -> tuple[str, ...]:
+        """Shared-memory block names this spec maps (one, here)."""
+        return (self.block,)
+
     def attach(self) -> dict[str, np.ndarray]:
         """Map the block and return ``{field: read-only ndarray view}``.
 
@@ -250,6 +257,52 @@ class ArenaSpec:
             views[e.field] = arr
         _ATTACHED[self.block] = (shm, views)
         return views
+
+
+@dataclass(frozen=True)
+class ArenaGroupSpec:
+    """Several arena specs presented as one attachable view table.
+
+    The serving daemon publishes the *subject*-side arrays once (they are
+    identical for every batch) and the per-batch query-side arrays into a
+    short-lived second arena; a group spec lets a worker resolve both with
+    one :meth:`attach` call.  Later specs win on field-name collisions
+    (none occur in practice: the payload field sets are disjoint).
+    """
+
+    specs: tuple[ArenaSpec, ...]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(s.nbytes for s in self.specs)
+
+    @property
+    def blocks(self) -> tuple[str, ...]:
+        return tuple(s.block for s in self.specs)
+
+    def attach(self) -> dict[str, np.ndarray]:
+        views: dict[str, np.ndarray] = {}
+        for spec in self.specs:
+            views.update(spec.attach())
+        return views
+
+
+def detach_block(name: str) -> bool:
+    """Drop this process's cached mapping of *name* (attacher side).
+
+    Long-lived workers attach one short-lived arena per micro-batch; the
+    per-process attach cache would otherwise pin every dead batch's pages
+    until process exit.  Call this when a payload switch shows a block is
+    no longer referenced.  Safe when views are still exported (the
+    mapping is parked and closes when the views are collected) and when
+    the block was never attached.  Returns True when an entry was
+    dropped.
+    """
+    entry = _ATTACHED.pop(name, None)
+    if entry is None:
+        return False
+    _neutralize(entry[0])
+    return True
 
 
 class SharedArena:

@@ -1,0 +1,144 @@
+"""Admission control for the query daemon: bounded queue + shedding.
+
+A resident service must refuse work it cannot finish; the alternative is
+an unbounded queue whose tail latency grows without limit until the OOM
+killer resolves the argument.  Admission here is a single synchronous
+decision made *before* a request enters the batcher:
+
+* **draining** -- the daemon received SIGTERM; queued work finishes,
+  new work is refused with a clean ``draining`` status (the client can
+  retry against a healthy replica);
+* **queue full** -- more requests are waiting than ``max_queue`` allows
+  (429-style backpressure);
+* **oversized** -- a single query larger than ``max_query_nt`` would
+  distort every co-batched request's latency;
+* **memory** -- the resource governor's
+  :func:`~repro.runtime.governor.available_memory_bytes` headroom check
+  says building another batch index could push the host into reclaim.
+
+Every decision is counted (``serve.requests_accepted`` /
+``serve.requests_shed``) and the live queue depth is kept in the
+``serve.queue_depth`` gauge, so ``--stats`` and the stats endpoint show
+the shedding behaviour directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..obs import MetricsRegistry
+from ..runtime.governor import available_memory_bytes, estimate_batch_bytes
+
+__all__ = ["AdmissionController", "AdmissionDecision"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    status: str  # "ok" | "shed" | "draining"
+    reason: str = ""
+
+
+class AdmissionController:
+    """Bounded-queue admission with governor-backed memory shedding.
+
+    Thread-safe: connection handler threads call :meth:`try_admit` /
+    :meth:`release` concurrently with the signal handler calling
+    :meth:`start_draining`.
+    """
+
+    def __init__(
+        self,
+        max_queue: int = 64,
+        max_query_nt: int = 1_000_000,
+        memory_headroom_bytes: int = 64 * 1024 * 1024,
+        registry: MetricsRegistry | None = None,
+        check_memory: bool = True,
+    ):
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if max_query_nt < 1:
+            raise ValueError("max_query_nt must be >= 1")
+        self.max_queue = max_queue
+        self.max_query_nt = max_query_nt
+        self.memory_headroom_bytes = memory_headroom_bytes
+        self.check_memory = check_memory
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._draining = False
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def in_flight(self) -> int:
+        """Requests admitted and not yet released (queued or batching)."""
+        with self._lock:
+            return self._in_flight
+
+    def start_draining(self) -> None:
+        """Refuse all future admissions (graceful-shutdown entry point)."""
+        self._draining = True
+
+    # ------------------------------------------------------------------ #
+    # The decision
+    # ------------------------------------------------------------------ #
+
+    def try_admit(self, query_nt: int) -> AdmissionDecision:
+        """Admit one query of ``query_nt`` residues, or say why not.
+
+        On admission the caller *must* eventually call :meth:`release`
+        (the batcher does so when the response is determined), or the
+        queue-depth accounting leaks and the service wedges shut.
+        """
+        if self._draining:
+            return self._shed("draining", "daemon is draining for shutdown")
+        if query_nt > self.max_query_nt:
+            return self._shed(
+                "shed",
+                f"query of {query_nt} nt exceeds the per-query cap of "
+                f"{self.max_query_nt} nt",
+            )
+        if self.check_memory:
+            avail = available_memory_bytes()
+            if avail is not None and avail < (
+                self.memory_headroom_bytes + estimate_batch_bytes(query_nt)
+            ):
+                return self._shed(
+                    "shed",
+                    "host memory headroom too low to index another batch",
+                )
+        with self._lock:
+            if self._in_flight >= self.max_queue:
+                decision = None
+            else:
+                self._in_flight += 1
+                depth = self._in_flight
+                decision = AdmissionDecision(admitted=True, status="ok")
+        if decision is None:
+            return self._shed(
+                "shed", f"admission queue full ({self.max_queue} in flight)"
+            )
+        self.registry.inc("serve.requests_accepted")
+        self.registry.set_gauge("serve.queue_depth", float(depth))
+        return decision
+
+    def release(self) -> None:
+        """Mark one admitted request as resolved (any outcome)."""
+        with self._lock:
+            self._in_flight = max(self._in_flight - 1, 0)
+            depth = self._in_flight
+        self.registry.set_gauge("serve.queue_depth", float(depth))
+
+    def _shed(self, status: str, reason: str) -> AdmissionDecision:
+        self.registry.inc("serve.requests_shed")
+        return AdmissionDecision(admitted=False, status=status, reason=reason)

@@ -1,0 +1,202 @@
+"""Micro-batcher: coalesce in-flight queries into one comparison.
+
+Per-query overhead in ORIS is front-loaded -- building the ephemeral
+query-side index, planning ranges, shipping a payload -- while the
+extension kernels are throughput machines that prefer large batches.
+The batcher exploits that: connection threads :meth:`submit` pending
+queries; a single batcher thread collects everything that arrives
+within ``max_delay_ms`` of the first pending query (or until
+``max_batch_nt`` residues accumulate) and runs **one**
+:meth:`~repro.serve.engine.BatchEngine.run_batch` for the lot.
+
+State machine of the batcher thread::
+
+            +--------- IDLE  (wait: queue non-empty or drain)
+            |            |
+            |            v  first query arrives -> deadline = now + delay
+            |         FILLING (wait: deadline, max_batch_nt, or drain)
+            |            |
+            |            v  snapshot buffer
+            +-------- RUNNING (one run_batch; responses resolved)
+
+Drain semantics (SIGTERM): a batch that is RUNNING completes and its
+responses are delivered; queries still FILLING (or submitted after the
+drain began) are resolved with a ``draining`` rejection.  That is the
+contract the CI smoke test kills the daemon to verify.
+
+Latency/size observations land in the shared registry
+(``serve.batch_size``, ``serve.batch_residues``,
+``serve.batch_latency_seconds`` histograms -- recorded by the engine --
+and ``serve.request_wait_seconds`` here).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..obs import MetricsRegistry
+
+__all__ = ["MicroBatcher", "PendingQuery"]
+
+
+@dataclass
+class PendingQuery:
+    """One admitted query waiting for (or carrying) its response."""
+
+    name: str
+    sequence: str
+    deadline: float | None = None  # monotonic; None = no deadline
+    submitted_at: float = field(default_factory=time.monotonic)
+    done: threading.Event = field(default_factory=threading.Event)
+    status: str = "pending"  # "ok" | "error" | "draining" | "timeout"
+    m8: str = ""
+    error: str = ""
+
+    def resolve(self, status: str, m8: str = "", error: str = "") -> None:
+        self.status = status
+        self.m8 = m8
+        self.error = error
+        self.done.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self.done.wait(timeout)
+
+
+class MicroBatcher:
+    """Single background thread turning pending queries into batches."""
+
+    def __init__(
+        self,
+        engine,
+        max_delay_ms: float = 25.0,
+        max_batch_nt: int = 2_000_000,
+        max_batch_queries: int = 64,
+        registry: MetricsRegistry | None = None,
+        on_resolved=None,
+    ):
+        if max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be >= 0")
+        if max_batch_nt < 1 or max_batch_queries < 1:
+            raise ValueError("batch caps must be >= 1")
+        self.engine = engine
+        self.max_delay = max_delay_ms / 1000.0
+        self.max_batch_nt = max_batch_nt
+        self.max_batch_queries = max_batch_queries
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: Called once per resolved query (the daemon releases admission
+        #: slots here); must be cheap and exception-free.
+        self.on_resolved = on_resolved
+        self._buffer: list[PendingQuery] = []
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._draining = False
+        self._stopped = False
+        self._thread = threading.Thread(
+            target=self._run, name="oris-batcher", daemon=True
+        )
+
+    # ------------------------------------------------------------------ #
+    # Producer side (connection threads, daemon shutdown)
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def submit(self, pending: PendingQuery) -> None:
+        """Queue one admitted query for the next batch."""
+        with self._wake:
+            if self._draining:
+                # Admission normally refuses first; this closes the race
+                # between an admit and the drain flag flipping.
+                self._resolve(pending, "draining", error="daemon is draining")
+                return
+            self._buffer.append(pending)
+            self._wake.notify()
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Stop batching: reject the buffer, finish the running batch.
+
+        Returns once the batcher thread has exited (or *timeout* passed).
+        In-flight work -- a batch already RUNNING -- completes and its
+        responses are delivered; everything still buffered is resolved
+        with ``draining``.
+        """
+        with self._wake:
+            self._draining = True
+            self._wake.notify()
+        self._thread.join(timeout)
+
+    # ------------------------------------------------------------------ #
+    # The batcher thread
+    # ------------------------------------------------------------------ #
+
+    def _resolve(
+        self, pending: PendingQuery, status: str, m8: str = "", error: str = ""
+    ) -> None:
+        pending.resolve(status, m8=m8, error=error)
+        if self.on_resolved is not None:
+            self.on_resolved(pending)
+
+    def _take_batch(self) -> list[PendingQuery] | None:
+        """Block until a batch is ready; ``None`` means shut down."""
+        with self._wake:
+            while not self._buffer and not self._draining:
+                self._wake.wait()
+            if self._draining:
+                for pending in self._buffer:
+                    self._resolve(pending, "draining", error="daemon is draining")
+                self._buffer.clear()
+                return None
+            deadline = time.monotonic() + self.max_delay
+            while True:
+                nt = sum(len(p.sequence) for p in self._buffer)
+                if (
+                    self._draining
+                    or nt >= self.max_batch_nt
+                    or len(self._buffer) >= self.max_batch_queries
+                ):
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._wake.wait(remaining)
+            batch = self._buffer[: self.max_batch_queries]
+            del self._buffer[: self.max_batch_queries]
+            return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                self._stopped = True
+                return
+            now = time.monotonic()
+            live: list[PendingQuery] = []
+            for pending in batch:
+                if pending.deadline is not None and now > pending.deadline:
+                    self.registry.inc("serve.requests_failed")
+                    self._resolve(
+                        pending,
+                        "timeout",
+                        error="request deadline expired before batching",
+                    )
+                else:
+                    self.registry.observe(
+                        "serve.request_wait_seconds", now - pending.submitted_at
+                    )
+                    live.append(pending)
+            if not live:
+                continue
+            try:
+                slices = self.engine.run_batch(
+                    [(p.name, p.sequence) for p in live]
+                )
+            except Exception as exc:  # noqa: BLE001 - must answer every query
+                self.registry.inc("serve.requests_failed", len(live))
+                for pending in live:
+                    self._resolve(pending, "error", error=repr(exc))
+                continue
+            for pending, m8 in zip(live, slices):
+                self._resolve(pending, "ok", m8=m8)

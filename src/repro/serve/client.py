@@ -1,0 +1,132 @@
+"""Blocking client library for the ORIS query daemon.
+
+The wire contract is one length-prefixed JSON frame per request and one
+per response (:mod:`repro.serve.protocol`); a connection may issue any
+number of sequential requests.  This client is deliberately synchronous
+-- the service's concurrency lives server-side in the micro-batcher, so
+a thread-per-query client (see ``scripts/ci_serve_smoke.py``) already
+exercises full batching.
+
+Exceptions mirror the response statuses so callers can branch on type:
+:class:`ServerShed` (backpressure -- retry with delay),
+:class:`ServerDraining` (shutdown in progress -- retry elsewhere), and
+:class:`QueryFailed` (the server answered ``error``/``timeout``).
+"""
+
+from __future__ import annotations
+
+import socket
+
+from .protocol import ProtocolError, recv_frame, send_frame
+
+__all__ = [
+    "OrisClient",
+    "QueryFailed",
+    "ServerDraining",
+    "ServerShed",
+    "ServiceError",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base class of everything the service can answer other than data."""
+
+
+class ServerShed(ServiceError):
+    """The daemon refused the request under load (429 semantics)."""
+
+
+class ServerDraining(ServiceError):
+    """The daemon is shutting down and no longer admits queries."""
+
+
+class QueryFailed(ServiceError):
+    """The daemon accepted the query but could not produce a result."""
+
+
+class OrisClient:
+    """A blocking connection to one ORIS query daemon.
+
+    Usable as a context manager::
+
+        with OrisClient(host, port) as client:
+            m8_text = client.query("read42", "ACGT...")
+    """
+
+    def __init__(self, host: str, port: int, timeout: float | None = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+
+    # ------------------------------------------------------------------ #
+    # Connection lifecycle
+    # ------------------------------------------------------------------ #
+
+    def connect(self) -> "OrisClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "OrisClient":
+        return self.connect()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Requests
+    # ------------------------------------------------------------------ #
+
+    def _roundtrip(self, request: dict) -> dict:
+        sock = self.connect()._sock
+        assert sock is not None
+        send_frame(sock, request)
+        response = recv_frame(sock)
+        if response is None:
+            raise ProtocolError("server closed the connection mid-request")
+        return response
+
+    def query(
+        self, name: str, sequence: str, timeout_s: float | None = None
+    ) -> str:
+        """Compare one query sequence; returns its ``-m 8`` text.
+
+        ``timeout_s`` is the *server-side* deadline: the daemon refuses
+        to start work on the query once it has waited longer than this
+        (the socket timeout passed to the constructor bounds the wait on
+        this side).
+        """
+        request: dict = {"type": "query", "name": name, "sequence": sequence}
+        if timeout_s is not None:
+            request["timeout_s"] = timeout_s
+        response = self._roundtrip(request)
+        status = response.get("status")
+        if status == "ok":
+            return response.get("m8", "")
+        reason = response.get("reason", response.get("error", "unknown"))
+        if status == "shed":
+            raise ServerShed(reason)
+        if status == "draining":
+            raise ServerDraining(reason)
+        raise QueryFailed(f"{status}: {reason}")
+
+    def stats(self) -> dict:
+        """Fetch the daemon's live metrics snapshot."""
+        response = self._roundtrip({"type": "stats"})
+        if response.get("status") != "ok":
+            raise QueryFailed(str(response))
+        return response.get("metrics", {})
+
+    def ping(self) -> bool:
+        """Liveness probe; True when the daemon answers."""
+        return self._roundtrip({"type": "ping"}).get("status") == "ok"

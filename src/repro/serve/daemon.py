@@ -1,0 +1,313 @@
+"""The resident ORIS query daemon.
+
+Process lifetime inverts the batch CLI: the subject bank is loaded and
+indexed **once** (an O(1) mmap when an index cache is warm), the
+subject-side worker arrays are published into shared memory **once**,
+the step-2 worker pool is spawned **once** -- and then the process
+answers queries until SIGTERM.
+
+Threading model (deliberately boring):
+
+* the **main thread** owns the listening socket's lifecycle and the
+  shutdown sequence (:meth:`OrisDaemon.serve_forever` blocks on the
+  shared :class:`~repro.runtime.scheduler.ShutdownRequest`, the same
+  primitive -- and signal plumbing -- the batch runtime drains with);
+* one **acceptor thread** accepts connections;
+* one short-lived **connection thread per client** speaks the framed
+  protocol, performs admission, and blocks on its query's response;
+* one **batcher thread** (:class:`~repro.serve.batcher.MicroBatcher`)
+  turns pending queries into :meth:`BatchEngine.run_batch` calls.
+
+Graceful drain (SIGTERM/SIGINT): admission flips to ``draining`` (new
+queries are refused with a clean status), the batch in flight completes
+and its responses are delivered, buffered-but-unstarted queries are
+rejected, the worker pool and subject arena are torn down, and the
+process exits 0.  The CI smoke test kills the daemon mid-stream to
+assert exactly this sequence.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass
+
+from ..core.params import OrisParams
+from ..io.bank import Bank
+from ..obs import MetricsRegistry, ObsSpec, span
+from ..runtime.scheduler import ShutdownRequest
+from .admission import AdmissionController
+from .batcher import MicroBatcher, PendingQuery
+from .engine import BatchEngine
+from .protocol import ProtocolError, recv_frame, send_frame
+
+__all__ = ["OrisDaemon", "ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Service knobs (the CLI ``serve`` subcommand maps onto these)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick a free port; announced on stdout
+    n_workers: int = 1
+    start_method: str | None = None
+    max_delay_ms: float = 25.0
+    max_batch_nt: int = 2_000_000
+    max_batch_queries: int = 64
+    max_queue: int = 64
+    max_query_nt: int = 1_000_000
+    request_timeout_s: float = 60.0
+    drain_timeout_s: float = 30.0
+    use_shm: bool = True
+    check_memory: bool = True
+
+    def __post_init__(self) -> None:
+        if self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive")
+        if self.drain_timeout_s < 0:
+            raise ValueError("drain_timeout_s must be >= 0")
+
+
+class OrisDaemon:
+    """A warm-index ORIS service bound to one subject bank."""
+
+    def __init__(
+        self,
+        bank2: Bank,
+        params: OrisParams | None = None,
+        config: ServeConfig | None = None,
+        index_cache=None,
+        registry: MetricsRegistry | None = None,
+        obs: ObsSpec | None = None,
+        stop: ShutdownRequest | None = None,
+    ):
+        self.config = config or ServeConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stop = stop if stop is not None else ShutdownRequest()
+        self.engine = BatchEngine(
+            bank2,
+            params,
+            n_workers=self.config.n_workers,
+            start_method=self.config.start_method,
+            index_cache=index_cache,
+            use_shm=self.config.use_shm,
+            registry=self.registry,
+            obs=obs,
+        )
+        self.admission = AdmissionController(
+            max_queue=self.config.max_queue,
+            max_query_nt=self.config.max_query_nt,
+            registry=self.registry,
+            check_memory=self.config.check_memory,
+        )
+        self.batcher = MicroBatcher(
+            self.engine,
+            max_delay_ms=self.config.max_delay_ms,
+            max_batch_nt=self.config.max_batch_nt,
+            max_batch_queries=self.config.max_batch_queries,
+            registry=self.registry,
+            on_resolved=lambda _pending: self.admission.release(),
+        )
+        self._listener: socket.socket | None = None
+        self._acceptor: threading.Thread | None = None
+        self._conns: set[socket.socket] = set()
+        self._conn_threads: list[threading.Thread] = []
+        self._conn_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound ``(host, port)``; valid after :meth:`start`."""
+        if self._listener is None:
+            raise RuntimeError("daemon is not started")
+        addr = self._listener.getsockname()
+        return addr[0], addr[1]
+
+    def ready_message(self) -> str:
+        host, port = self.address
+        return f"SERVE READY host={host} port={port}"
+
+    def start(self) -> "OrisDaemon":
+        """Bind, start the batcher and the acceptor; returns immediately."""
+        if self._listener is not None:
+            return self
+        listener = socket.create_server(
+            (self.config.host, self.config.port), backlog=128
+        )
+        listener.settimeout(0.2)  # poll granularity for shutdown
+        self._listener = listener
+        self.batcher.start()
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="oris-acceptor", daemon=True
+        )
+        self._acceptor.start()
+        return self
+
+    def serve_forever(self) -> int:
+        """Run until the shutdown request trips; returns an exit code."""
+        self.start()
+        with span("serve.run"):
+            while not self.stop.is_set():
+                self.stop.wait(0.5)
+        self.shutdown()
+        return 0
+
+    def shutdown(self) -> None:
+        """Graceful drain: finish in-flight work, refuse the rest, stop."""
+        if self._closed:
+            return
+        self._closed = True
+        self.stop.trip(self.stop.signum)
+        # 1. No new queries (admission) and no new connections (listener).
+        self.admission.start_draining()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - already torn
+                pass
+        if self._acceptor is not None:
+            self._acceptor.join(timeout=2.0)
+        # 2. The running batch completes; the buffer gets clean rejections.
+        self.batcher.drain(timeout=self.config.drain_timeout_s)
+        # 3. Let connection threads flush their response frames, then
+        #    stop their reads (EOF) so they exit.
+        with self._conn_lock:
+            conns = list(self._conns)
+            threads = list(self._conn_threads)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+        deadline = time.monotonic() + 5.0
+        for thread in threads:
+            thread.join(timeout=max(deadline - time.monotonic(), 0.1))
+        # 4. Tear down the warm state (pool workers, subject arena).
+        self.engine.close()
+
+    # ------------------------------------------------------------------ #
+    # Accept / connection handling
+    # ------------------------------------------------------------------ #
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self.stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:  # listener closed by shutdown
+                return
+            conn.settimeout(None)
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="oris-conn",
+                daemon=True,
+            )
+            with self._conn_lock:
+                self._conns.add(conn)
+                # Prune finished threads so a long-lived daemon with many
+                # short connections does not accrete thread objects.
+                self._conn_threads = [
+                    t for t in self._conn_threads if t.is_alive()
+                ]
+                self._conn_threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            with conn:
+                while True:
+                    try:
+                        request = recv_frame(conn)
+                    except ProtocolError as exc:
+                        self._try_send(
+                            conn, {"status": "error", "error": str(exc)}
+                        )
+                        return
+                    if request is None:
+                        return
+                    try:
+                        response = self._handle(request)
+                    except Exception as exc:  # noqa: BLE001 - answer, then live on
+                        self.registry.inc("serve.requests_failed")
+                        response = {"status": "error", "error": repr(exc)}
+                    if not self._try_send(conn, response):
+                        return
+        finally:
+            with self._conn_lock:
+                self._conns.discard(conn)
+
+    @staticmethod
+    def _try_send(conn: socket.socket, obj: dict) -> bool:
+        try:
+            send_frame(conn, obj)
+            return True
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------------ #
+    # Request handling
+    # ------------------------------------------------------------------ #
+
+    def _handle(self, request: dict) -> dict:
+        kind = request.get("type")
+        if kind == "ping":
+            return {"status": "ok"}
+        if kind == "stats":
+            return {
+                "status": "ok",
+                "metrics": self.registry.as_dict(),
+                "draining": self.admission.draining,
+            }
+        if kind == "query":
+            return self._handle_query(request)
+        self.registry.inc("serve.requests_failed")
+        return {"status": "error", "error": f"unknown request type {kind!r}"}
+
+    def _handle_query(self, request: dict) -> dict:
+        name = request.get("name", "query")
+        sequence = request.get("sequence")
+        if not isinstance(name, str) or not isinstance(sequence, str) or not sequence:
+            self.registry.inc("serve.requests_failed")
+            return {
+                "status": "error",
+                "error": "a query needs a string name and a non-empty sequence",
+            }
+        timeout_s = request.get("timeout_s", self.config.request_timeout_s)
+        try:
+            timeout_s = float(timeout_s)
+        except (TypeError, ValueError):
+            self.registry.inc("serve.requests_failed")
+            return {"status": "error", "error": "timeout_s must be a number"}
+        decision = self.admission.try_admit(len(sequence))
+        if not decision.admitted:
+            return {"status": decision.status, "reason": decision.reason}
+        pending = PendingQuery(
+            name=name,
+            sequence=sequence,
+            deadline=time.monotonic() + timeout_s,
+        )
+        with span("serve.request", query=name, nt=len(sequence)):
+            self.batcher.submit(pending)
+            # The batcher always resolves (ok/error/draining/timeout); the
+            # extra grace covers a batch that started just under the wire.
+            if not pending.wait(timeout_s + self.config.drain_timeout_s + 5.0):
+                self.registry.inc("serve.requests_failed")
+                return {
+                    "status": "timeout",
+                    "error": "request timed out awaiting its batch",
+                }
+        if pending.status == "ok":
+            return {"status": "ok", "m8": pending.m8}
+        if pending.status == "draining":
+            return {"status": "draining", "reason": pending.error}
+        self.registry.inc("serve.requests_failed")
+        return {"status": pending.status, "error": pending.error}

@@ -1,0 +1,358 @@
+"""Batch comparison core of the query service.
+
+One micro-batch = one ORIS comparison.  The batcher hands this engine a
+list of ``(name, sequence)`` queries; they are concatenated into a
+single ephemeral query bank, indexed once, and pushed through the
+existing step-2 machinery (:class:`~repro.runtime.scheduler.TaskScheduler`
+over the daemon's persistent :class:`~repro.runtime.scheduler.WorkerPool`)
+in *one* pass.  The responses are per-query ``-m 8`` slices.
+
+The hard requirement -- enforced by a hypothesis property test and the
+CI smoke test -- is that each slice is **byte-identical** to running
+``compare`` on that query alone.  Three quantities in the pipeline
+depend on the query bank and would drift under naive batching; each is
+handled explicitly:
+
+* **per-code occurrence caps** (``max_occurrences``) and the pair
+  enumeration itself: the merged bank's common-code list is *expanded
+  into per-query entries* (:func:`expand_common_per_query`).  Positions
+  inside one code's CSR run ascend, and each query occupies a disjoint
+  global range, so the run splits into query-contiguous sub-runs; each
+  sub-run becomes its own entry with the *per-query* ``count1``.  Pair
+  order (code-major, then bank-1 position, then bank-2 position) and
+  the occurrence cap then match the single-query run exactly.
+* **the S1 threshold** (a function of ``bank1.size_nt``): the shared
+  step-2 pass runs at the *minimum* threshold over the batch (a pure
+  keep-filter relaxation -- extensions themselves never see S1), and
+  the demultiplexer re-applies each query's own threshold.
+* **e-values and final sorting** (functions of the query bank): steps
+  3-4 run per query, on a fresh single-query bank with the HSP
+  coordinates rebased -- literally the same code on the same inputs as
+  a single-shot run.
+
+The ordered-seed cutoff itself is query-local: cutoff codes and the
+bank-2 enumerability mask are per-position properties, extensions
+hard-stop on the separators that bound each query, and same-code
+tie-breaks compare positions within one query only.  Batching therefore
+cannot change which HSPs the cutoff produces -- the paper's
+one-seed-one-HSP argument survives concatenation.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+
+import numpy as np
+
+from ..align.evalue import karlin_params
+from ..core.engine import OrisEngine, StepTimings, WorkCounters
+from ..core.parallel import (
+    RangePayload,
+    ShmRangePayload,
+    build_range_payload,
+    finish_comparison,
+    plan_ranges,
+    publish_range_payload,
+)
+from ..core.params import OrisParams
+from ..align.hsp import HSPTable
+from ..encoding import encode
+from ..filters import make_filter_mask
+from ..index.seed_index import CommonCodes, CsrSeedIndex
+from ..io.bank import Bank
+from ..io.m8 import format_m8
+from ..obs import MetricsRegistry, ObsSpec, span
+from ..runtime.errors import ResourceExhausted
+from ..runtime.scheduler import (
+    RuntimeConfig,
+    ShutdownRequest,
+    TaskScheduler,
+    WorkerPool,
+)
+from ..runtime.shm import SharedArena, detach_block
+
+__all__ = ["BatchEngine", "expand_common_per_query"]
+
+
+def expand_common_per_query(
+    common: CommonCodes, positions1: np.ndarray, query_starts: np.ndarray
+) -> tuple[CommonCodes, np.ndarray]:
+    """Split each common-code entry into one entry per owning query.
+
+    ``positions1`` is the merged query index's position array and
+    ``query_starts`` the global start offset of each query in the merged
+    bank.  Returns ``(expanded, owners)`` where ``expanded`` has one
+    entry per (code, query) combination that actually occurs -- with
+    ``count1`` equal to that query's occurrence count -- and ``owners``
+    names the query of each expanded entry.  Entry order is code-major,
+    query-minor, so any contiguous range partition preserves each
+    query's own code-ascending enumeration order.
+    """
+    n = common.n_codes
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return common, empty
+    counts = common.count1.astype(np.int64)
+    total = int(counts.sum())
+    # Concatenated view of every entry's position run, entry-major.
+    entry_ids = np.repeat(np.arange(n, dtype=np.int64), counts)
+    offs = np.concatenate(([0], np.cumsum(counts)))[:-1]
+    rank = np.arange(total, dtype=np.int64) - offs[entry_ids]
+    pos_idx = common.start1.astype(np.int64)[entry_ids] + rank
+    owner_of_pos = (
+        np.searchsorted(query_starts, positions1[pos_idx], side="right") - 1
+    )
+    # Positions inside a run ascend and queries occupy disjoint global
+    # ranges, so (entry, owner) changes are run boundaries.
+    boundary = np.empty(total, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = (entry_ids[1:] != entry_ids[:-1]) | (
+        owner_of_pos[1:] != owner_of_pos[:-1]
+    )
+    run_starts = np.nonzero(boundary)[0]
+    run_entry = entry_ids[run_starts]
+    expanded = CommonCodes(
+        codes=common.codes[run_entry],
+        start1=pos_idx[run_starts],
+        count1=np.diff(np.concatenate((run_starts, [total]))).astype(np.int64),
+        start2=common.start2[run_entry],
+        count2=common.count2[run_entry],
+    )
+    return expanded, owner_of_pos[run_starts].astype(np.int64)
+
+
+class BatchEngine:
+    """Warm-subject ORIS engine answering query micro-batches.
+
+    Owns the loaded-once subject state of the daemon: the subject bank's
+    CSR index (mmap-loaded through an
+    :class:`~repro.index.persist.IndexCache` when one is given), the
+    published subject-side shared-memory arena, and the persistent
+    worker pool.  :meth:`run_batch` is called from the single batcher
+    thread; :meth:`close` from the daemon's shutdown path.
+    """
+
+    def __init__(
+        self,
+        bank2: Bank,
+        params: OrisParams | None = None,
+        n_workers: int = 1,
+        start_method: str | None = None,
+        index_cache=None,
+        use_shm: bool = True,
+        tasks_per_worker: int = 4,
+        registry: MetricsRegistry | None = None,
+        obs: ObsSpec | None = None,
+    ):
+        p = params or OrisParams()
+        if p.strand != "plus":
+            raise ValueError("the query service searches a single strand")
+        if not p.ordered_cutoff:
+            raise ValueError("the query service requires the ordered cutoff")
+        if p.spaced_seed or p.subset_seed or p.asymmetric:
+            raise ValueError(
+                "the query service supports contiguous seeds only "
+                "(spaced/subset/asymmetric modes are batch-engine features)"
+            )
+        self.params = p
+        self.bank2 = bank2
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.obs = obs
+        self.stats = karlin_params(p.scoring)
+        self._engine = OrisEngine(p)
+        self._never_stop = ShutdownRequest()  # batches always run to completion
+        with span("serve.load_subject"):
+            if index_cache is not None:
+                self.index2 = index_cache.get(bank2, p.w, p.filter_kind)
+                index_cache.record_metrics(self.registry)
+            else:
+                self.index2 = CsrSeedIndex(
+                    bank2, p.w, make_filter_mask(bank2, p.filter_kind)
+                )
+        self.index2.record_metrics(self.registry, "bank2")
+        self.config = RuntimeConfig(
+            n_workers=max(n_workers, 1),
+            tasks_per_worker=tasks_per_worker,
+            use_shm=use_shm,
+            start_method=start_method,
+        )
+        self.pool = WorkerPool(self.config.n_workers, start_method)
+        # Publish the subject-side arrays once: every batch's workers
+        # attach the same pages, so per-request cost is query-sized.
+        self._use_shm = use_shm and self.config.n_workers > 1
+        self._base_arena: SharedArena | None = None
+        self._base_spec = None
+        if self._use_shm:
+            try:
+                self._base_arena = SharedArena(
+                    {
+                        "seq2": self.index2.bank.seq,
+                        "positions2": self.index2.positions,
+                        "ok2": self.index2.indexed_mask,
+                    }
+                )
+                self._base_spec = self._base_arena.spec
+                self.registry.inc(
+                    "shm.bytes_published", self._base_arena.nbytes
+                )
+            except ResourceExhausted as exc:
+                warnings.warn(
+                    f"{exc}; serving without the shared subject arena",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._use_shm = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Stop pooled workers and unlink the subject arena (idempotent)."""
+        self.pool.stop()
+        if self._base_arena is not None:
+            self._base_arena.close()
+            self._base_arena = None
+
+    def __enter__(self) -> "BatchEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Per-query parameters
+    # ------------------------------------------------------------------ #
+
+    def _query_threshold(self, qbank: Bank) -> int:
+        """The S1 threshold a single-shot run of *qbank* would use."""
+        return self._engine._resolve_hsp_min_score(qbank, self.bank2, self.stats)
+
+    # ------------------------------------------------------------------ #
+    # One batch
+    # ------------------------------------------------------------------ #
+
+    def run_batch(self, queries: list[tuple[str, str]]) -> list[str]:
+        """Compare every query against the subject bank in one pass.
+
+        Returns one ``-m 8`` text per query, in input order, each
+        byte-identical to a single-shot ``compare`` of that query.
+        """
+        if not queries:
+            return []
+        t_batch = time.perf_counter()
+        encoded = [encode(seq) for _name, seq in queries]
+        names = [name for name, _seq in queries]
+        qbanks = [Bank([n], [e]) for n, e in zip(names, encoded)]
+        merged = Bank(names, encoded)
+        thresholds = [self._query_threshold(b) for b in qbanks]
+
+        with span("serve.batch", n_queries=len(queries)):
+            table_per_query = self._step2(merged, min(thresholds), thresholds)
+            out: list[str] = []
+            for qbank, table in zip(qbanks, table_per_query):
+                out.append(self._finish_query(qbank, table))
+        self.registry.observe("serve.batch_size", len(queries))
+        self.registry.observe("serve.batch_residues", merged.size_nt)
+        self.registry.observe(
+            "serve.batch_latency_seconds", time.perf_counter() - t_batch
+        )
+        self.registry.inc("serve.batches")
+        return out
+
+    def _step2(
+        self, merged: Bank, batch_threshold: int, thresholds: list[int]
+    ) -> list[HSPTable]:
+        """Shared ungapped pass; demultiplexed per-query HSP tables."""
+        p = self.params
+        index1 = CsrSeedIndex(merged, p.w, make_filter_mask(merged, p.filter_kind))
+        common = index1.common_codes(self.index2)
+        expanded, _owners = expand_common_per_query(
+            common, index1.positions, merged.starts
+        )
+        payload = build_range_payload(
+            index1, self.index2, expanded, p, batch_threshold, obs=self.obs
+        )
+        ranges = plan_ranges(
+            expanded,
+            self.config.n_workers * self.config.tasks_per_worker,
+            p,
+            self.config.split,
+        )
+        arena: SharedArena | None = None
+        worker_payload: RangePayload | ShmRangePayload = payload
+        if self._use_shm and ranges:
+            try:
+                arena, worker_payload = publish_range_payload(
+                    payload, self.registry, base_spec=self._base_spec
+                )
+            except ResourceExhausted as exc:
+                warnings.warn(
+                    f"{exc}; using the pickled batch payload",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        counters = WorkCounters()
+        batch_registry = MetricsRegistry()
+        try:
+            scheduler = TaskScheduler(
+                worker_payload,
+                ranges,
+                self.config,
+                counters,
+                stop=self._never_stop,
+                registry=batch_registry,
+                pool=self.pool,
+            )
+            results = scheduler.run()
+        finally:
+            if arena is not None:
+                # The parent may have attached its own batch arena (the
+                # quarantine path resolves payloads in-process); drop the
+                # cached mapping so a long-lived daemon never accretes
+                # dead batch pages, then unlink.
+                block = arena.spec.block
+                arena.close()
+                detach_block(block)
+        self.registry.merge(batch_registry)
+
+        ordered = [results[k] for k in sorted(results)]
+        if ordered:
+            s1 = np.concatenate([r.start1 for r in ordered])
+            e1 = np.concatenate([r.end1 for r in ordered])
+            s2 = np.concatenate([r.start2 for r in ordered])
+            sc = np.concatenate([r.score for r in ordered])
+        else:
+            s1 = np.empty(0, dtype=np.int64)
+            e1, s2, sc = s1.copy(), s1.copy(), s1.copy()
+        owner = np.searchsorted(merged.starts, s1, side="right") - 1
+        tables: list[HSPTable] = []
+        for q, threshold in enumerate(thresholds):
+            # Re-apply this query's own S1 (the shared pass ran at the
+            # batch minimum) and rebase onto the single-query bank, whose
+            # sequence starts at global position 1.
+            keep = (owner == q) & (sc >= threshold)
+            delta = 1 - int(merged.starts[q])
+            table = HSPTable()
+            table.append_chunk(s1[keep] + delta, e1[keep] + delta, s2[keep], sc[keep])
+            tables.append(table)
+        return tables
+
+    def _finish_query(self, qbank: Bank, table: HSPTable) -> str:
+        """Steps 3-4 for one query -- the single-shot code on rebased HSPs."""
+        counters = WorkCounters()
+        timings = StepTimings()
+        registry = MetricsRegistry()
+        result = finish_comparison(
+            self._engine,
+            qbank,
+            self.bank2,
+            table,
+            counters,
+            timings,
+            self.stats,
+            registry,
+        )
+        self.registry.merge(registry)
+        return format_m8(result.records)

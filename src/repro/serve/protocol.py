@@ -1,0 +1,100 @@
+"""Length-prefixed socket framing for the ORIS query service.
+
+One frame is::
+
+    +----------+----------------------------+
+    | 4 bytes  | n bytes                    |
+    | !I  = n  | UTF-8 JSON object          |
+    +----------+----------------------------+
+
+The body is always a single JSON object.  Requests carry a ``type``
+field (``query`` / ``stats`` / ``ping``); responses carry a ``status``
+field (``ok`` / ``shed`` / ``draining`` / ``error``).  JSON keeps the
+protocol debuggable with ``nc`` + a hex dump and versionable without a
+schema compiler; the 4-byte length prefix keeps parsing trivial and
+makes oversized-frame rejection an O(1) check *before* any allocation.
+
+Nothing here knows about threads or the batcher: the module is pure
+framing, usable over any connected stream socket (the tests drive it
+over a ``socketpair``).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "recv_frame",
+    "send_frame",
+]
+
+#: Upper bound on one frame's body.  Far above any legitimate query
+#: (a 64 Mnt query sequence is not a service-shaped request) and small
+#: enough that a garbage length prefix cannot trigger a giant allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct("!I")
+
+
+class ProtocolError(ValueError):
+    """A malformed frame: bad length prefix, bad JSON, or a non-object."""
+
+
+def send_frame(sock: socket.socket, obj: dict) -> None:
+    """Serialise *obj* and write it as one length-prefixed frame."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    # One sendall: the header must never be split from its body by an
+    # exception in between, or the peer desynchronises.
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly *n* bytes; ``None`` on clean EOF at a frame boundary.
+
+    EOF *inside* a frame is a protocol error -- the peer died mid-write
+    and whatever arrived cannot be trusted.
+    """
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            if got == 0:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({got}/{n} bytes received)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Read one frame; returns the decoded object, or ``None`` on EOF."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame "
+            f"(cap is {MAX_FRAME_BYTES}); refusing to allocate"
+        )
+    body = _recv_exactly(sock, length)
+    if body is None:  # EOF between header and body
+        raise ProtocolError("connection closed between frame header and body")
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame body must be a JSON object")
+    return obj

@@ -428,3 +428,115 @@ class TestObservabilityFlags:
         f1 = json.loads(serial.read_text())["funnel"]
         f2 = json.loads(parallel.read_text())["funnel"]
         assert f1 == f2
+
+
+class TestSubcommands:
+    def test_explicit_compare_subcommand(self, fasta_pair, tmp_path):
+        p1, p2 = fasta_pair
+        out = tmp_path / "out.m8"
+        implicit = tmp_path / "implicit.m8"
+        assert run(["compare", p1, p2, "-o", str(out)]) == 0
+        assert run([p1, p2, "-o", str(implicit)]) == 0
+        assert out.read_bytes() == implicit.read_bytes()
+
+    def test_serve_parser_shares_parameter_groups(self):
+        from repro.cli import build_query_parser, build_serve_parser
+
+        args = build_serve_parser().parse_args(["bank.fa"])
+        # The seed/scoring groups are the same ones compare uses.
+        assert args.word_size == 11
+        assert args.filter_kind == "dust"
+        assert args.match == 1 and args.mismatch == 3
+        assert args.port == 0 and args.host == "127.0.0.1"
+        qargs = build_query_parser().parse_args(
+            ["q.fa", "--port", "7878", "--timeout", "5"]
+        )
+        assert qargs.port == 7878 and qargs.timeout == 5.0
+
+    def test_query_requires_port(self, capsys):
+        from repro.cli import build_query_parser
+
+        with pytest.raises(SystemExit):
+            build_query_parser().parse_args(["q.fa"])
+
+    def test_serve_and_query_end_to_end(self, fasta_pair, tmp_path):
+        from repro.cli import run as cli_run
+        from repro.core import OrisParams
+        from repro.io.validate import load_bank
+        from repro.serve import OrisDaemon, ServeConfig
+
+        p1, p2 = fasta_pair
+        reference = tmp_path / "reference.m8"
+        assert cli_run([p1, p2, "-o", str(reference)]) == 0
+
+        bank2, _ = load_bank(p2)
+        daemon = OrisDaemon(
+            bank2, OrisParams(), ServeConfig(n_workers=1, check_memory=False)
+        )
+        daemon.start()
+        _, port = daemon.address
+        try:
+            served = tmp_path / "served.m8"
+            code = cli_run(
+                ["query", p1, "--port", str(port), "-o", str(served)]
+            )
+            assert code == 0
+            assert served.read_bytes() == reference.read_bytes()
+        finally:
+            daemon.shutdown()
+
+    def test_query_connection_refused_is_resource_error(
+        self, fasta_pair, capsys
+    ):
+        import socket
+
+        p1, _ = fasta_pair
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()  # now certainly nothing is listening there
+        assert run(["query", p1, "--port", str(port)]) == 4
+        assert "cannot reach daemon" in capsys.readouterr().err
+
+
+class TestIndexCacheCap:
+    def test_cap_flag_parses_sizes(self, fasta_pair, tmp_path):
+        p1, p2 = fasta_pair
+        cache_dir = tmp_path / "cache"
+        assert run(
+            [p1, p2, "-o", str(tmp_path / "x.m8"),
+             "--index-cache", str(cache_dir),
+             "--index-cache-max-bytes", "1G"]
+        ) == 0
+        assert list(cache_dir.glob("*.scoris3"))
+
+    def test_cap_without_cache_dir_is_usage_error(self, fasta_pair, capsys):
+        p1, p2 = fasta_pair
+        assert run([p1, p2, "--index-cache-max-bytes", "1G"]) == 2
+        assert "--index-cache" in capsys.readouterr().err
+
+    def test_bad_cap_syntax_is_usage_error(self, fasta_pair, tmp_path, capsys):
+        p1, p2 = fasta_pair
+        code = run(
+            [p1, p2, "--index-cache", str(tmp_path / "c"),
+             "--index-cache-max-bytes", "lots"]
+        )
+        assert code == 2
+
+    def test_tiny_cap_evicts_and_reports(self, fasta_pair, tmp_path, capsys):
+        p1, p2 = fasta_pair
+        cache_dir = tmp_path / "cache"
+        # Two different subject banks through a 1-byte cache: the second
+        # store evicts the first archive.
+        assert run(
+            [p1, p2, "-o", str(tmp_path / "a.m8"),
+             "--index-cache", str(cache_dir),
+             "--index-cache-max-bytes", "1"]
+        ) == 0
+        assert run(
+            [p2, p1, "-o", str(tmp_path / "b.m8"),
+             "--index-cache", str(cache_dir),
+             "--index-cache-max-bytes", "1"]
+        ) == 0
+        survivors = list(cache_dir.glob("*.scoris3"))
+        assert len(survivors) == 1

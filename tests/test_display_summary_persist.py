@@ -370,3 +370,97 @@ class TestIndexCache:
         assert format_m8(cold.records) == format_m8(base.records)
         assert format_m8(warm.records) == format_m8(base.records)
         assert cache.hits == 2 and cache.misses == 2
+
+
+class TestIndexCacheEviction:
+    def _bank(self, rng, n=300):
+        return Bank.from_strings([("a", random_dna(rng, n))])
+
+    def _fill(self, cache, rng, n_banks):
+        banks = [self._bank(rng) for _ in range(n_banks)]
+        for bank in banks:
+            cache.get(bank, 9)
+        return banks
+
+    def test_unbounded_by_default(self, tmp_path, rng):
+        from repro.index import IndexCache
+
+        cache = IndexCache(tmp_path / "cache")
+        self._fill(cache, rng, 4)
+        assert cache.evicted == 0
+        assert len(list((tmp_path / "cache").glob("*.scoris3"))) == 4
+
+    def test_evicts_oldest_access_first(self, tmp_path, rng):
+        import os
+        import time
+
+        from repro.index import IndexCache
+
+        cache = IndexCache(tmp_path / "cache")
+        banks = self._fill(cache, rng, 3)
+        paths = [cache.path_for(cache.key(b, 9, None)) for b in banks]
+        one_archive = paths[0].stat().st_size
+        # Order access explicitly (atime granularity can be coarse).
+        now = time.time()
+        for i, path in enumerate(paths):
+            os.utime(path, (now + i, now + i))
+        # Cap fits exactly two archives; storing a fourth must evict the
+        # least recently used one (banks[0]) and only that one.
+        cache.max_bytes = 2 * one_archive + one_archive // 2
+        fourth = self._bank(rng)
+        cache.get(fourth, 9)
+        assert cache.evicted == 2  # down to cap: the two oldest went
+        assert not paths[0].exists() and not paths[1].exists()
+        assert paths[2].exists()
+        assert cache.path_for(cache.key(fourth, 9, None)).exists()
+
+    def test_hit_refreshes_recency(self, tmp_path, rng):
+        import os
+        import time
+
+        from repro.index import IndexCache
+
+        cache = IndexCache(tmp_path / "cache")
+        banks = self._fill(cache, rng, 2)
+        paths = [cache.path_for(cache.key(b, 9, None)) for b in banks]
+        now = time.time()
+        os.utime(paths[0], (now - 100, now - 100))
+        os.utime(paths[1], (now - 50, now - 50))
+        cache.get(banks[0], 9)  # hit: banks[0] becomes most recent
+        # Cap fits two and a half archives: storing a third evicts
+        # exactly one -- the least recently *accessed*.
+        cache.max_bytes = int(paths[0].stat().st_size * 2.5)
+        cache.get(self._bank(rng), 9)
+        assert paths[0].exists()  # survived: recently used
+        assert not paths[1].exists()
+
+    def test_oversized_store_keeps_the_new_archive(self, tmp_path, rng):
+        from repro.index import IndexCache
+
+        cache = IndexCache(tmp_path / "cache", max_bytes=1)
+        bank = self._bank(rng)
+        index = cache.get(bank, 9)
+        assert index is not None
+        # The just-built archive survives its own store even though it
+        # exceeds the cap; everything else would be evicted.
+        assert cache.path_for(cache.key(bank, 9, None)).exists()
+        other = self._bank(rng)
+        cache.get(other, 9)
+        assert cache.evicted == 1
+        assert not cache.path_for(cache.key(bank, 9, None)).exists()
+
+    def test_eviction_metric_recorded(self, tmp_path, rng):
+        from repro.index import IndexCache
+        from repro.obs import MetricsRegistry
+
+        cache = IndexCache(tmp_path / "cache", max_bytes=1)
+        self._fill(cache, rng, 2)
+        registry = MetricsRegistry()
+        cache.record_metrics(registry)
+        assert registry.value("index.cache_evicted") == cache.evicted >= 1
+
+    def test_rejects_nonsense_cap(self, tmp_path):
+        from repro.index import IndexCache
+
+        with pytest.raises(ValueError, match="max_bytes"):
+            IndexCache(tmp_path / "cache", max_bytes=0)

@@ -80,3 +80,58 @@ class TestGeometry:
         rec = make_record(q_start=1, q_end=120)
         lo, hi = rec.q_span
         assert hi - lo == 120
+
+
+class TestM8Writer:
+    def _records(self, n=3):
+        return [make_record(query_id=f"q{i}", length=100 + i) for i in range(n)]
+
+    def test_byte_identical_to_write_m8(self, tmp_path):
+        from repro.io.m8 import M8Writer
+
+        records = self._records()
+        whole = tmp_path / "whole.m8"
+        write_m8(whole, records)
+        streamed = tmp_path / "streamed.m8"
+        with M8Writer(streamed) as out:
+            out.write_record(records[0])
+            out.write_records(records[1:])
+        assert streamed.read_bytes() == whole.read_bytes()
+        assert read_m8(streamed) == records
+
+    def test_text_and_records_interleave(self, tmp_path):
+        from repro.io.m8 import M8Writer
+
+        records = self._records(4)
+        path = tmp_path / "mixed.m8"
+        with M8Writer(path) as out:
+            out.write_records(records[:2])
+            out.write_text(format_m8(records[2:]))  # e.g. a served slice
+            assert out.n_records == 4
+        assert read_m8(path) == records
+
+    def test_empty_text_is_a_no_op(self, tmp_path):
+        from repro.io.m8 import M8Writer
+
+        path = tmp_path / "empty.m8"
+        with M8Writer(path) as out:
+            out.write_text("")
+        assert path.read_bytes() == b"" and out.n_records == 0
+
+    def test_unterminated_text_rejected(self, tmp_path):
+        from repro.io.m8 import M8Writer
+
+        with M8Writer(tmp_path / "x.m8") as out:
+            with pytest.raises(ValueError, match="newline"):
+                out.write_text("half a line")
+
+    def test_borrowed_stream_left_open(self):
+        import io
+
+        from repro.io.m8 import M8Writer
+
+        buf = io.StringIO()
+        with M8Writer(buf) as out:
+            out.write_records(self._records(2))
+        assert not buf.closed  # borrowed, not owned
+        assert parse_m8(buf.getvalue()) == self._records(2)

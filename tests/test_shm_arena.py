@@ -136,3 +136,67 @@ class TestPreflight:
 
     def test_reasonable_requirement_passes(self):
         preflight_shm(1)  # must not raise
+
+
+class TestConcurrentReap:
+    """Racing janitors must never unlink a live owner's arena."""
+
+    @requires_dev_shm
+    def test_racing_janitors_spare_live_arenas(self, tmp_path):
+        import subprocess
+        import sys
+
+        import repro
+
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(repro.__file__))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p
+        )
+
+        with SharedArena(_arrays()) as arena:
+            live_block = arena.spec.block
+            # A dead-owner block for the janitors to fight over.
+            dead_pid = 2**22 - 3
+            stale = f"{arena_prefix()}_{dead_pid}_feedface"
+            stale_path = os.path.join(shm_dir(), stale)
+            with open(stale_path, "wb") as fh:
+                fh.write(b"\0" * 64)
+            script = (
+                "import sys, json\n"
+                "from repro.runtime.shm import reap_stale_segments\n"
+                "print(json.dumps(reap_stale_segments()))\n"
+            )
+            try:
+                procs = [
+                    subprocess.Popen(
+                        [sys.executable, "-c", script],
+                        stdout=subprocess.PIPE,
+                        stderr=subprocess.PIPE,
+                        text=True,
+                        env=env,
+                    )
+                    for _ in range(4)
+                ]
+                outs = [p.communicate(timeout=60) for p in procs]
+                assert all(p.returncode == 0 for p in procs), [
+                    err for _, err in outs
+                ]
+                # Every janitor ran clean; none unlinked the live arena.
+                live_path = os.path.join(shm_dir(), live_block)
+                assert os.path.exists(live_path)
+                import json
+
+                reaped_by = [
+                    json.loads(out) for out, _ in outs
+                ]
+                assert all(live_block not in r for r in reaped_by)
+                # The stale block is gone, and racing unlinks (ENOENT
+                # swallowed) did not crash any janitor.
+                assert not os.path.exists(stale_path)
+            finally:
+                if os.path.exists(stale_path):
+                    os.unlink(stale_path)
+            # The parent's arena is still fully usable after the raid.
+            views = arena.spec.attach()
+            assert np.array_equal(views["a"], _arrays()["a"])
