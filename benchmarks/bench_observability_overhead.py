@@ -33,9 +33,21 @@ from _shared import FULL_SCALE, QUICK_SCALE, _cached_bank
 from repro.core import OrisEngine, OrisParams
 from repro.eval import time_call
 from repro.obs import MetricsRegistry, configure_tracing, disable_tracing
+from repro.runtime import faults
 
 #: Acceptance bar on (instrumented - plain) / plain wall time.
 MAX_OVERHEAD = 0.05
+
+#: Acceptance bar on the disarmed fault-injection hooks: modelled
+#: worst-case hook cost per comparison over plain wall time.
+MAX_FAULTS_OVERHEAD = 0.01
+
+#: Generous bound on fault-point checks during one comparison.  Hooks
+#: sit at task/frame/attach granularity (3 checks per range task, one
+#: per protocol frame, one per arena attach, one per batch), so even a
+#: 64-query serve batch over hundreds of range tasks stays far below
+#: this.
+HOOK_SITES_PER_RUN = 10_000
 
 BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_step2.json"
 
@@ -84,6 +96,38 @@ def measure_overhead(
     }
 
 
+def measure_faults_overhead(plain_seconds: float, calls: int = 200_000) -> dict:
+    """Cost of the *disarmed* fault-injection hot path, per comparison.
+
+    The chaos layer's contract is zero overhead when unarmed: every hook
+    site is a single ``faults.armed()`` / ``faults.should_fire()`` call
+    that must short-circuit.  This times both calls disarmed, models a
+    comparison as ``HOOK_SITES_PER_RUN`` hook executions (a deliberate
+    over-estimate), and expresses that against the measured plain wall
+    time.  The bar is < 1 %.
+    """
+    faults.disarm()
+    try:
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            faults.armed()
+        armed_seconds = (time.perf_counter() - t0) / calls
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            faults.should_fire("worker.crash", "task:0")
+        fire_seconds = (time.perf_counter() - t0) / calls
+    finally:
+        faults.reset()
+    per_call = max(armed_seconds, fire_seconds)
+    overhead = HOOK_SITES_PER_RUN * per_call / plain_seconds
+    return {
+        "faults_armed_ns": armed_seconds * 1e9,
+        "faults_should_fire_ns": fire_seconds * 1e9,
+        "faults_hook_sites_modelled": HOOK_SITES_PER_RUN,
+        "faults_overhead": overhead,
+    }
+
+
 def bench_overhead_quick(benchmark):
     point = benchmark.pedantic(
         lambda: measure_overhead(QUICK_SCALE, repeats=3), rounds=1, iterations=1
@@ -95,6 +139,11 @@ def bench_overhead_quick(benchmark):
     # time_call routed both measurements into the registry.
     assert point["registry_gauges"]["bench.obs_off.wall_seconds"] > 0
     assert point["registry_gauges"]["bench.obs_on.wall_seconds"] > 0
+    fpoint = measure_faults_overhead(point["plain_seconds"])
+    assert fpoint["faults_overhead"] < MAX_FAULTS_OVERHEAD, (
+        f"disarmed fault hooks cost {fpoint['faults_overhead']:.2%} of a "
+        f"comparison (bar {MAX_FAULTS_OVERHEAD:.0%})"
+    )
 
 
 def append_bench_point(point: dict) -> None:
@@ -126,10 +175,21 @@ def main(argv: list[str] | None = None) -> int:
         f"instrumented {point['instrumented_seconds']:.3f}s, "
         f"overhead {point['overhead']:+.2%} (bar {MAX_OVERHEAD:.0%})"
     )
+    point.update(measure_faults_overhead(point["plain_seconds"]))
+    print(
+        f"disarmed fault hooks: armed() {point['faults_armed_ns']:.0f} ns, "
+        f"should_fire() {point['faults_should_fire_ns']:.0f} ns, "
+        f"{HOOK_SITES_PER_RUN} modelled sites = "
+        f"{point['faults_overhead']:.3%} of plain "
+        f"(bar {MAX_FAULTS_OVERHEAD:.0%})"
+    )
     append_bench_point(point)
     print(f"appended data point to {BENCH_FILE}")
     if point["overhead"] >= MAX_OVERHEAD:
         print("FAIL: overhead above bar", file=sys.stderr)
+        return 1
+    if point["faults_overhead"] >= MAX_FAULTS_OVERHEAD:
+        print("FAIL: disarmed fault hooks above bar", file=sys.stderr)
         return 1
     return 0
 

@@ -365,6 +365,10 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--no-memory-check", action="store_true",
         help="skip the governor's available-memory preflight on admission",
     )
+    # Hidden chaos-testing hook: arm deterministic fault points
+    # (repro.runtime.faults specs, e.g. "worker.crash:0.05:1234").  The
+    # spec is exported as SCORIS_FAULTS so spawned workers inherit it.
+    parser.add_argument("--faults", default=None, help=argparse.SUPPRESS)
     _add_ingest_arg(parser)
     _add_seed_args(parser)
     _add_scoring_args(parser)
@@ -738,6 +742,16 @@ def _execute_serve(args) -> int:
 
     if args.workers < 1:
         return _fail_usage("--workers must be >= 1")
+    if args.faults:
+        from .runtime import faults
+
+        try:
+            faults.arm(args.faults)
+        except faults.FaultSpecError as exc:
+            return _fail_usage(str(exc))
+        # Spawn-method workers re-arm from the environment, not from the
+        # parent's module state; export before any process starts.
+        os.environ[faults.ENV_VAR] = args.faults
     error, index_cache = _make_index_cache(args)
     if error is not None:
         return error

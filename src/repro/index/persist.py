@@ -46,10 +46,34 @@ from pathlib import Path
 import numpy as np
 
 from ..io.bank import Bank
+from ..runtime import faults
 from ..runtime.errors import IndexCorrupt
 from .seed_index import CsrSeedIndex
 
 __all__ = ["save_index", "load_index", "IndexCache"]
+
+
+def _flip_one_byte(path: Path) -> None:
+    """Chaos helper (``index.cache_corrupt``): corrupt a stored archive.
+
+    Flips one byte in the archive *header* region (the default fast load
+    only checksums the header, not the array payload) so the corruption
+    is guaranteed to surface as :class:`IndexCorrupt` and the cache's
+    unlink-and-rebuild self-healing path runs.
+    """
+    try:
+        with open(path, "r+b") as fh:
+            fh.seek(0, os.SEEK_END)
+            size = fh.tell()
+            if size == 0:
+                return
+            offset = min(len(_MAGIC) + 4, size - 1)
+            fh.seek(offset)
+            byte = fh.read(1)
+            fh.seek(offset)
+            fh.write(bytes([byte[0] ^ 0xFF]) if byte else b"\xff")
+    except OSError:  # pragma: no cover - cache dir raced away
+        pass
 
 #: Current archive format version (the v3 single-file mmap layout).
 FORMAT_VERSION = 3
@@ -426,6 +450,8 @@ class IndexCache:
 
         path = self.path_for(self.key(bank, w, filter_kind))
         if path.is_file():
+            if faults.should_fire("index.cache_corrupt", str(path)):
+                _flip_one_byte(path)
             try:
                 index = load_index(path)
             except IndexCorrupt:

@@ -19,6 +19,7 @@ taxonomy without pulling the whole engine stack into their import graph.
 
 from __future__ import annotations
 
+from . import faults
 from .errors import (
     CheckpointCorrupt,
     IndexCorrupt,
@@ -30,6 +31,7 @@ from .errors import (
     TaskPoisoned,
     TaskTimeout,
     WorkerCrash,
+    classify,
     exit_code_for,
 )
 
@@ -44,8 +46,10 @@ __all__ = [
     "InputError",
     "ResourceExhausted",
     "RunInterrupted",
+    "classify",
     "exit_code_for",
     "CheckpointJournal",
+    "faults",
     "RuntimeConfig",
     "TaskScheduler",
     "compare_resilient",

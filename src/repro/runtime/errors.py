@@ -85,6 +85,7 @@ __all__ = [
     "EXIT_RESOURCE",
     "EXIT_CORRUPT",
     "EXIT_INTERRUPTED",
+    "classify",
     "exit_code_for",
 ]
 
@@ -183,6 +184,24 @@ class RunInterrupted(OrisRuntimeError):
         super().__init__(message)
         self.signum = signum
         self.n_completed = n_completed
+
+
+def classify(exc: BaseException) -> str:
+    """Name the taxonomy bucket an exception falls into.
+
+    Used where an error crosses a serialisation boundary (the serve
+    protocol's ``poisoned`` responses) and the receiving side wants the
+    *kind* of failure without depending on Python exception classes.
+    Taxonomy members report their own class name; everything else is
+    ``"internal"``.
+    """
+    if isinstance(exc, OrisRuntimeError):
+        return type(exc).__name__
+    if isinstance(exc, TimeoutError):
+        return TaskTimeout.__name__
+    if isinstance(exc, MemoryError):
+        return ResourceExhausted.__name__
+    return "internal"
 
 
 def exit_code_for(exc: BaseException) -> int:

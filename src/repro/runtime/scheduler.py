@@ -61,6 +61,7 @@ from ..core.parallel import (
 from ..core.params import OrisParams
 from ..io.bank import Bank
 from ..obs import MetricsRegistry, ObsSpec, span
+from . import faults
 from .checkpoint import CheckpointJournal
 from .errors import PoolUnhealthy, ResourceExhausted, RunInterrupted, TaskPoisoned
 
@@ -264,6 +265,15 @@ def _scheduler_worker(payload: RangePayload | ShmRangePayload | None, conn) -> N
             payload = new_payload
             continue
         task_id, lo, hi = item
+        if faults.armed():
+            # Chaos hooks live in the *worker* process only: the parent
+            # and its quarantine path must stay reliable so the chaos
+            # smoke measures recovery, not self-inflicted supervisor
+            # damage.
+            key = f"task:{task_id}"
+            for point in ("worker.crash", "worker.oom", "worker.hang"):
+                if faults.should_fire(point, key):
+                    faults.inject(point)
         try:
             if payload is None:
                 raise RuntimeError("worker received a task before any payload")
@@ -350,9 +360,27 @@ class WorkerPool:
     mapped.  Pass a pool to :class:`TaskScheduler` and it leases workers
     from it instead of spawning its own, reclaiming the survivors
     afterwards; dead workers are pruned and replaced on the next lease.
+
+    The pool *self-heals* for daemon lifetimes: every replacement of a
+    dead worker goes through :meth:`respawn`, which applies a capped
+    exponential backoff when deaths cluster (a crash storm must not
+    become a fork bomb) and counts ``pool.respawns``; :meth:`replace`
+    rebuilds the whole pool after :class:`PoolUnhealthy` so the daemon
+    survives events that would abort a batch run.
     """
 
-    def __init__(self, n_workers: int, start_method: str | None = None):
+    #: Backoff between *consecutive* respawns (doubles per respawn,
+    #: resets once the pool stays quiet for ``RESPAWN_QUIET_S``).
+    RESPAWN_BACKOFF_BASE = 0.05
+    RESPAWN_BACKOFF_CAP = 2.0
+    RESPAWN_QUIET_S = 5.0
+
+    def __init__(
+        self,
+        n_workers: int,
+        start_method: str | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = n_workers
@@ -361,6 +389,11 @@ class WorkerPool:
         )
         self.ctx = mp.get_context(self.method) if self.method else None
         self._workers: list[_Worker] = []
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.respawns = 0
+        self.replacements = 0
+        self._consecutive_respawns = 0
+        self._last_respawn = 0.0
 
     @property
     def usable(self) -> bool:
@@ -376,29 +409,95 @@ class WorkerPool:
         w.set_payload(payload)
         return w
 
+    def respawn(self, payload: RangePayload | ShmRangePayload) -> _Worker:
+        """Replace one dead worker, with backoff when deaths cluster.
+
+        Consecutive respawns (each within ``RESPAWN_QUIET_S`` of the
+        last) sleep ``RESPAWN_BACKOFF_BASE * 2**(n-1)`` capped at
+        ``RESPAWN_BACKOFF_CAP`` before forking, so a query that kills
+        every worker it touches costs the daemon bounded respawn churn
+        instead of a fork storm.
+        """
+        now = time.monotonic()
+        if now - self._last_respawn > self.RESPAWN_QUIET_S:
+            self._consecutive_respawns = 0
+        if self._consecutive_respawns > 0:
+            time.sleep(
+                min(
+                    self.RESPAWN_BACKOFF_BASE
+                    * 2 ** (self._consecutive_respawns - 1),
+                    self.RESPAWN_BACKOFF_CAP,
+                )
+            )
+        self._consecutive_respawns += 1
+        self._last_respawn = time.monotonic()
+        self.respawns += 1
+        self.registry.inc("pool.respawns")
+        return self.spawn(payload)
+
     def lease(
         self, payload: RangePayload | ShmRangePayload, n: int
     ) -> list[_Worker]:
         """Hand out *n* live workers primed with *payload*.
 
         Surviving workers from the previous batch are reused (and
-        re-primed); dead ones are pruned; the pool tops itself up with
-        fresh spawns.  The caller must :meth:`reclaim` or the workers
-        are orphaned.
+        re-primed); dead ones are pruned and replaced through
+        :meth:`respawn` (counted, backed off); growth beyond the
+        previous pool size is a plain spawn.  The caller must
+        :meth:`reclaim` or the workers are orphaned.
         """
         alive: list[_Worker] = []
+        died = 0
         for w in self._workers:
             if w.proc.is_alive() and len(alive) < n:
                 alive.append(w)
             else:
+                if not w.proc.is_alive():
+                    died += 1
                 w.kill()
         self._workers = []
         for w in alive:
             w.release()
             w.set_payload(payload)
         while len(alive) < n:
-            alive.append(self.spawn(payload))
+            if died > 0:
+                died -= 1
+                alive.append(self.respawn(payload))
+            else:
+                alive.append(self.spawn(payload))
         return alive
+
+    def replace(self) -> None:
+        """Tear down every worker; the next lease starts a fresh pool.
+
+        The recovery of last resort after :class:`PoolUnhealthy`: a
+        resident daemon must outlive events that would abort a batch
+        run, so instead of dying with the pool it swaps the pool.
+        """
+        for w in self._workers:
+            w.stop()
+        self._workers = []
+        self._consecutive_respawns = 0
+        self.replacements += 1
+        self.registry.inc("pool.replacements")
+
+    def health(self) -> dict:
+        """Component health snapshot (the daemon's ``health`` op).
+
+        ``ok`` is structural: a pool is healthy unless pooled workers
+        are dead *right now* (the next lease heals that, but a snapshot
+        showing corpses is worth flagging).  A serial pool (no usable
+        start method) is healthy by definition -- work runs in-parent.
+        """
+        alive = sum(1 for w in self._workers if w.proc.is_alive())
+        return {
+            "ok": alive == len(self._workers),
+            "alive": alive,
+            "pooled": len(self._workers),
+            "target": self.n_workers,
+            "respawns": self.respawns,
+            "replacements": self.replacements,
+        }
 
     def reclaim(self, workers: list[_Worker]) -> None:
         """Take workers back after a batch; dead ones are discarded."""
@@ -593,7 +692,7 @@ class TaskScheduler:
     def _spawn_worker(self, ctx) -> _Worker:
         """One replacement worker (pool-primed when leasing from a pool)."""
         if self.pool is not None:
-            return self.pool.spawn(self.payload)
+            return self.pool.respawn(self.payload)
         return _Worker(ctx, self.payload)
 
     def _run_pool(self, todo: list[int], method: str) -> None:

@@ -42,6 +42,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from . import faults
 from .errors import ResourceExhausted
 
 __all__ = [
@@ -244,6 +245,15 @@ class ArenaSpec:
         cached = _ATTACHED.get(self.block)
         if cached is not None:
             return cached[1]
+        if faults.should_fire("shm.unlink_race", self.block):
+            # Chaos hook: the publisher unlinked between spec shipping
+            # and attach -- exactly what a worker sees when it loses the
+            # race with a batch teardown.  The task errors and the
+            # scheduler retries it (the re-shipped payload re-publishes).
+            raise FileNotFoundError(
+                f"fault injection: shared block {self.block!r} vanished "
+                "before attach"
+            )
         shm = attach_block(self.block)
         views: dict[str, np.ndarray] = {}
         for e in self.entries:

@@ -32,6 +32,7 @@ from .batcher import MicroBatcher, PendingQuery
 from .client import (
     OrisClient,
     QueryFailed,
+    QueryPoisoned,
     ServerDraining,
     ServerShed,
     ServiceError,
@@ -50,6 +51,7 @@ __all__ = [
     "PendingQuery",
     "ProtocolError",
     "QueryFailed",
+    "QueryPoisoned",
     "ServeConfig",
     "ServerDraining",
     "ServerShed",

@@ -24,6 +24,16 @@ responses are delivered; queries still FILLING (or submitted after the
 drain began) are resolved with a ``draining`` rejection.  That is the
 contract the CI smoke test kills the daemon to verify.
 
+Failure isolation: a batch that raises is **bisected**, not failed
+wholesale.  The batching-equivalence property (every query's answer is
+byte-identical however it is co-batched) makes re-running halves
+semantically free, so a single *poison query* -- one that reliably
+crashes the pool or trips an engine error -- is narrowed down in
+O(log n) re-runs, answered ``poisoned`` with the runtime's error
+taxonomy, and remembered in a bounded quarantine so a retrying client
+cannot grind the pool down again.  Innocent co-batched queries get
+their real answers from the half re-runs.
+
 Latency/size observations land in the shared registry
 (``serve.batch_size``, ``serve.batch_residues``,
 ``serve.batch_latency_seconds`` histograms -- recorded by the engine --
@@ -32,11 +42,14 @@ and ``serve.request_wait_seconds`` here).
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..obs import MetricsRegistry
+from ..runtime.errors import classify
 
 __all__ = ["MicroBatcher", "PendingQuery"]
 
@@ -50,15 +63,32 @@ class PendingQuery:
     deadline: float | None = None  # monotonic; None = no deadline
     submitted_at: float = field(default_factory=time.monotonic)
     done: threading.Event = field(default_factory=threading.Event)
-    status: str = "pending"  # "ok" | "error" | "draining" | "timeout"
+    status: str = "pending"  # "ok" | "error" | "draining" | "timeout" | "poisoned"
     m8: str = ""
     error: str = ""
+    kind: str = ""  # taxonomy bucket when status == "poisoned"
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
-    def resolve(self, status: str, m8: str = "", error: str = "") -> None:
-        self.status = status
-        self.m8 = m8
-        self.error = error
-        self.done.set()
+    def resolve(
+        self, status: str, m8: str = "", error: str = "", kind: str = ""
+    ) -> bool:
+        """Set the outcome; True only for the *first* resolution.
+
+        Idempotent by design: the daemon's cancel path (a connection
+        thread giving up) can race the batcher resolving the same query,
+        and exactly one of them must win -- and trigger the
+        ``on_resolved`` admission release -- or slots leak or
+        double-release.
+        """
+        with self._lock:
+            if self.done.is_set():
+                return False
+            self.status = status
+            self.m8 = m8
+            self.error = error
+            self.kind = kind
+            self.done.set()
+            return True
 
     def wait(self, timeout: float | None = None) -> bool:
         return self.done.wait(timeout)
@@ -66,6 +96,10 @@ class PendingQuery:
 
 class MicroBatcher:
     """Single background thread turning pending queries into batches."""
+
+    #: Quarantined poison sequences remembered (newest win; bounded so a
+    #: hostile client cannot grow daemon memory by mutating sequences).
+    QUARANTINE_MAX = 256
 
     def __init__(
         self,
@@ -89,6 +123,8 @@ class MicroBatcher:
         #: slots here); must be cheap and exception-free.
         self.on_resolved = on_resolved
         self._buffer: list[PendingQuery] = []
+        self._running: list[PendingQuery] = []
+        self._quarantined: OrderedDict[str, tuple[str, str]] = OrderedDict()
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._draining = False
@@ -106,6 +142,15 @@ class MicroBatcher:
 
     def submit(self, pending: PendingQuery) -> None:
         """Queue one admitted query for the next batch."""
+        quarantined = self._quarantine_lookup(pending.sequence)
+        if quarantined is not None:
+            # A known poison sequence never reaches the pool again: the
+            # remembered verdict is replayed without burning a batch.
+            error, kind = quarantined
+            self.registry.inc("serve.quarantine_hits")
+            self.registry.inc("serve.requests_failed")
+            self._resolve(pending, "poisoned", error=error, kind=kind)
+            return
         with self._wake:
             if self._draining:
                 # Admission normally refuses first; this closes the race
@@ -114,6 +159,23 @@ class MicroBatcher:
                 return
             self._buffer.append(pending)
             self._wake.notify()
+
+    def cancel(self, pending: PendingQuery) -> bool:
+        """Give up on one submitted query (connection-side timeout).
+
+        Resolves it ``timeout`` -- releasing its admission slot through
+        ``on_resolved`` -- unless the batcher got there first.  A query
+        whose batch is RUNNING cannot be pulled back from the pool; it
+        is resolved anyway (the eventual batch answer finds the pending
+        already done and is dropped), which is what keeps a wedged batch
+        from leaking admission slots.
+        """
+        with self._lock:
+            if pending in self._buffer:
+                self._buffer.remove(pending)
+        return self._resolve(
+            pending, "timeout", error="request timed out awaiting its batch"
+        )
 
     def drain(self, timeout: float = 30.0) -> None:
         """Stop batching: reject the buffer, finish the running batch.
@@ -132,12 +194,55 @@ class MicroBatcher:
     # The batcher thread
     # ------------------------------------------------------------------ #
 
+    def unresolved_count(self) -> int:
+        """Queries submitted and not yet resolved (buffered or running).
+
+        The daemon's watchdog compares this against the admission
+        controller's ``in_flight`` to detect slot leaks.
+        """
+        with self._lock:
+            pendings = list(self._buffer) + list(self._running)
+        return sum(1 for p in pendings if not p.done.is_set())
+
+    # ------------------------------------------------------------------ #
+    # Quarantine
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _quarantine_key(sequence: str) -> str:
+        return hashlib.sha1(sequence.encode("utf-8")).hexdigest()
+
+    def _quarantine_lookup(self, sequence: str) -> tuple[str, str] | None:
+        with self._lock:
+            return self._quarantined.get(self._quarantine_key(sequence))
+
+    def _quarantine(self, pending: PendingQuery, exc: BaseException) -> None:
+        kind = classify(exc)
+        error = f"query poisoned its batch ({kind}): {exc!r}"
+        with self._lock:
+            self._quarantined[self._quarantine_key(pending.sequence)] = (
+                error,
+                kind,
+            )
+            while len(self._quarantined) > self.QUARANTINE_MAX:
+                self._quarantined.popitem(last=False)
+        self.registry.inc("serve.queries_poisoned")
+        self.registry.inc("serve.requests_failed")
+        self._resolve(pending, "poisoned", error=error, kind=kind)
+
     def _resolve(
-        self, pending: PendingQuery, status: str, m8: str = "", error: str = ""
-    ) -> None:
-        pending.resolve(status, m8=m8, error=error)
+        self,
+        pending: PendingQuery,
+        status: str,
+        m8: str = "",
+        error: str = "",
+        kind: str = "",
+    ) -> bool:
+        if not pending.resolve(status, m8=m8, error=error, kind=kind):
+            return False
         if self.on_resolved is not None:
             self.on_resolved(pending)
+        return True
 
     def _take_batch(self) -> list[PendingQuery] | None:
         """Block until a batch is ready; ``None`` means shut down."""
@@ -164,6 +269,9 @@ class MicroBatcher:
                 self._wake.wait(remaining)
             batch = self._buffer[: self.max_batch_queries]
             del self._buffer[: self.max_batch_queries]
+            # Published under the lock: the watchdog's unresolved count
+            # must never miss queries in the buffer->running handoff.
+            self._running = batch
             return batch
 
     def _run(self) -> None:
@@ -187,16 +295,41 @@ class MicroBatcher:
                         "serve.request_wait_seconds", now - pending.submitted_at
                     )
                     live.append(pending)
-            if not live:
-                continue
+            if live:
+                self._execute(live)
+            with self._lock:
+                self._running = []
+
+    def _execute(self, batch: list[PendingQuery]) -> None:
+        """Run one batch; on failure, bisect to isolate the poison query.
+
+        Batching equivalence (the engine's per-query demux is byte-exact
+        however queries are co-batched) means a half re-run returns the
+        *same* answers the whole batch would have -- so innocents get
+        real results while the failing subset narrows.  A singleton that
+        fails is retried once (a worker crash is not the query's fault),
+        then quarantined as poisoned.
+        """
+        live = [p for p in batch if not p.done.is_set()]
+        if not live:
+            return
+        try:
+            slices = self.engine.run_batch([(p.name, p.sequence) for p in live])
+        except Exception as exc:  # noqa: BLE001 - isolate, never crash the thread
+            if len(live) > 1:
+                self.registry.inc("serve.batch_bisections")
+                mid = len(live) // 2
+                self._execute(live[:mid])
+                self._execute(live[mid:])
+                return
+            pending = live[0]
             try:
-                slices = self.engine.run_batch(
-                    [(p.name, p.sequence) for p in live]
-                )
-            except Exception as exc:  # noqa: BLE001 - must answer every query
-                self.registry.inc("serve.requests_failed", len(live))
-                for pending in live:
-                    self._resolve(pending, "error", error=repr(exc))
-                continue
-            for pending, m8 in zip(live, slices):
-                self._resolve(pending, "ok", m8=m8)
+                # One retry before the verdict: transient pool trouble
+                # (a crash storm, an arena race) must not convict an
+                # innocent query.
+                slices = self.engine.run_batch([(pending.name, pending.sequence)])
+            except Exception as exc2:  # noqa: BLE001
+                self._quarantine(pending, exc2)
+                return
+        for pending, m8 in zip(live, slices):
+            self._resolve(pending, "ok", m8=m8)

@@ -7,21 +7,33 @@ number of sequential requests.  This client is deliberately synchronous
 a thread-per-query client (see ``scripts/ci_serve_smoke.py``) already
 exercises full batching.
 
+The client is also the reference *retry* implementation: queries survive
+connection resets (the daemon restarted a connection, a frame was torn
+mid-send) by reconnecting, and survive ``shed`` backpressure by sleeping
+the server's ``retry_after_ms`` hint (jittered, so a thundering herd of
+clients does not re-arrive in lockstep).  Both retry budgets are bounded
+by ``retries``; ``draining`` is **never** retried -- the daemon is going
+away, the caller should pick another replica.
+
 Exceptions mirror the response statuses so callers can branch on type:
-:class:`ServerShed` (backpressure -- retry with delay),
-:class:`ServerDraining` (shutdown in progress -- retry elsewhere), and
+:class:`ServerShed` (backpressure -- retries exhausted),
+:class:`ServerDraining` (shutdown in progress -- retry elsewhere),
+:class:`QueryPoisoned` (the server quarantined this exact sequence), and
 :class:`QueryFailed` (the server answered ``error``/``timeout``).
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 
 from .protocol import ProtocolError, recv_frame, send_frame
 
 __all__ = [
     "OrisClient",
     "QueryFailed",
+    "QueryPoisoned",
     "ServerDraining",
     "ServerShed",
     "ServiceError",
@@ -44,6 +56,20 @@ class QueryFailed(ServiceError):
     """The daemon accepted the query but could not produce a result."""
 
 
+class QueryPoisoned(QueryFailed):
+    """The daemon quarantined this sequence: it reliably breaks batches.
+
+    Retrying is pointless (the quarantine answers instantly from memory)
+    -- the sequence itself needs investigating.  ``kind`` carries the
+    server-side error-taxonomy bucket (``WorkerCrash``, ``TaskTimeout``,
+    ...) when the daemon reported one.
+    """
+
+    def __init__(self, message: str, kind: str = ""):
+        super().__init__(message)
+        self.kind = kind
+
+
 class OrisClient:
     """A blocking connection to one ORIS query daemon.
 
@@ -51,12 +77,31 @@ class OrisClient:
 
         with OrisClient(host, port) as client:
             m8_text = client.query("read42", "ACGT...")
+
+    ``retries`` bounds how many times one request is re-attempted after
+    a connection failure or a ``shed`` response; ``retries_used``
+    accumulates across the client's lifetime (observability for tests
+    and soak harnesses).
     """
 
-    def __init__(self, host: str, port: int, timeout: float | None = 60.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float | None = 60.0,
+        retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.retries_used = 0
         self._sock: socket.socket | None = None
 
     # ------------------------------------------------------------------ #
@@ -96,6 +141,45 @@ class OrisClient:
             raise ProtocolError("server closed the connection mid-request")
         return response
 
+    def _backoff(self, attempt: int, hint_ms: float | None = None) -> None:
+        """Sleep before a retry: the server's hint when given, else
+        exponential -- both jittered so retry storms decorrelate."""
+        if hint_ms is not None:
+            delay = max(hint_ms, 0.0) / 1000.0
+        else:
+            delay = min(self.backoff_base * 2**attempt, self.backoff_cap)
+        time.sleep(delay * random.uniform(0.5, 1.5))
+
+    def _roundtrip_retrying(self, request: dict) -> dict:
+        """One request with bounded reconnect + shed-backoff retries.
+
+        Retried: connection-level failures (reset, refused mid-restart,
+        torn frame) after a reconnect, and ``shed`` responses after the
+        server's ``retry_after_ms`` hint.  Not retried: ``draining`` (by
+        contract) and every other terminal status -- those are answers.
+        """
+        attempt = 0
+        while True:
+            try:
+                response = self._roundtrip(request)
+            except (OSError, ProtocolError):
+                self.close()  # the socket state cannot be trusted
+                if attempt >= self.retries:
+                    raise
+                self.retries_used += 1
+                self._backoff(attempt)
+                attempt += 1
+                continue
+            if response.get("status") == "shed" and attempt < self.retries:
+                self.retries_used += 1
+                hint = response.get("retry_after_ms")
+                self._backoff(
+                    attempt, float(hint) if hint is not None else None
+                )
+                attempt += 1
+                continue
+            return response
+
     def query(
         self, name: str, sequence: str, timeout_s: float | None = None
     ) -> str:
@@ -109,7 +193,7 @@ class OrisClient:
         request: dict = {"type": "query", "name": name, "sequence": sequence}
         if timeout_s is not None:
             request["timeout_s"] = timeout_s
-        response = self._roundtrip(request)
+        response = self._roundtrip_retrying(request)
         status = response.get("status")
         if status == "ok":
             return response.get("m8", "")
@@ -118,6 +202,8 @@ class OrisClient:
             raise ServerShed(reason)
         if status == "draining":
             raise ServerDraining(reason)
+        if status == "poisoned":
+            raise QueryPoisoned(reason, kind=response.get("kind", ""))
         raise QueryFailed(f"{status}: {reason}")
 
     def stats(self) -> dict:
@@ -130,3 +216,15 @@ class OrisClient:
     def ping(self) -> bool:
         """Liveness probe; True when the daemon answers."""
         return self._roundtrip({"type": "ping"}).get("status") == "ok"
+
+    def health(self) -> dict:
+        """Structured component health (pool/arena/batcher/admission).
+
+        Returns the full response object: ``healthy`` (one boolean
+        verdict) and ``components`` (per-component state dicts, each
+        with its own ``ok``).
+        """
+        response = self._roundtrip({"type": "health"})
+        if response.get("status") != "ok":
+            raise QueryFailed(str(response))
+        return response

@@ -62,12 +62,17 @@ class ServeConfig:
     drain_timeout_s: float = 30.0
     use_shm: bool = True
     check_memory: bool = True
+    #: Backoff hint shipped in ``shed`` responses; a well-behaved client
+    #: (``OrisClient``) sleeps roughly this long before retrying.
+    retry_after_ms: float = 100.0
 
     def __post_init__(self) -> None:
         if self.request_timeout_s <= 0:
             raise ValueError("request_timeout_s must be positive")
         if self.drain_timeout_s < 0:
             raise ValueError("drain_timeout_s must be >= 0")
+        if self.retry_after_ms < 0:
+            raise ValueError("retry_after_ms must be >= 0")
 
 
 class OrisDaemon:
@@ -95,6 +100,10 @@ class OrisDaemon:
             use_shm=self.config.use_shm,
             registry=self.registry,
             obs=obs,
+            # Bound every range task by the request deadline: a hung
+            # worker (or a wedged kernel) must surface as a recoverable
+            # task timeout, never as a daemon that stops answering.
+            task_timeout=self.config.request_timeout_s,
         )
         self.admission = AdmissionController(
             max_queue=self.config.max_queue,
@@ -116,6 +125,7 @@ class OrisDaemon:
         self._conn_threads: list[threading.Thread] = []
         self._conn_lock = threading.Lock()
         self._closed = False
+        self._watchdog_strikes = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -155,8 +165,36 @@ class OrisDaemon:
         with span("serve.run"):
             while not self.stop.is_set():
                 self.stop.wait(0.5)
+                self._watchdog_check()
         self.shutdown()
         return 0
+
+    def _watchdog_check(self) -> None:
+        """Repair admission-slot leaks the invariant cannot rule out.
+
+        The invariant: every admitted query is eventually resolved, and
+        every resolution releases exactly one slot.  A bug anywhere in
+        that chain wedges the daemon into shedding everything forever --
+        so the main loop cross-checks ``in_flight`` against the
+        batcher's unresolved count each tick and, after three
+        *consecutive* mismatched ticks (hysteresis: a query legitimately
+        sits between ``try_admit`` and ``submit`` for a moment),
+        reconciles the counter and counts the repair.
+        """
+        in_flight = self.admission.in_flight
+        unresolved = self.batcher.unresolved_count()
+        if in_flight <= unresolved:
+            self._watchdog_strikes = 0
+            return
+        self._watchdog_strikes += 1
+        if self._watchdog_strikes < 3:
+            return
+        leaked = in_flight - self.batcher.unresolved_count()
+        if leaked > 0:
+            self.registry.inc("serve.admission_slots_repaired", leaked)
+            for _ in range(leaked):
+                self.admission.release()
+        self._watchdog_strikes = 0
 
     def shutdown(self) -> None:
         """Graceful drain: finish in-flight work, refuse the rest, stop."""
@@ -245,12 +283,32 @@ class OrisDaemon:
             with self._conn_lock:
                 self._conns.discard(conn)
 
-    @staticmethod
-    def _try_send(conn: socket.socket, obj: dict) -> bool:
+    def _try_send(self, conn: socket.socket, obj: dict) -> bool:
+        """Best-effort response delivery; never raises.
+
+        A client that vanished before its answer is normal service
+        weather, but not silently ignorable: every undelivered response
+        is a query whose work was wasted, so it is counted
+        (``serve.responses_undeliverable``).  A response frame over the
+        protocol cap is downgraded to a structured error so the client
+        gets a diagnosis instead of a dead socket.
+        """
         try:
             send_frame(conn, obj)
             return True
+        except ProtocolError:
+            fallback = {
+                "status": "error",
+                "error": "response frame too large for the protocol cap",
+            }
+            try:
+                send_frame(conn, fallback)
+                return True
+            except OSError:
+                self.registry.inc("serve.responses_undeliverable")
+                return False
         except OSError:
+            self.registry.inc("serve.responses_undeliverable")
             return False
 
     # ------------------------------------------------------------------ #
@@ -261,6 +319,8 @@ class OrisDaemon:
         kind = request.get("type")
         if kind == "ping":
             return {"status": "ok"}
+        if kind == "health":
+            return self._handle_health()
         if kind == "stats":
             return {
                 "status": "ok",
@@ -271,6 +331,34 @@ class OrisDaemon:
             return self._handle_query(request)
         self.registry.inc("serve.requests_failed")
         return {"status": "error", "error": f"unknown request type {kind!r}"}
+
+    def _handle_health(self) -> dict:
+        """Structured liveness: per-component states plus one verdict.
+
+        Components: ``pool`` (worker liveness, respawn/replacement
+        counts), ``arena`` (the published subject shared memory),
+        ``batcher`` (thread alive, buffered/unresolved queries,
+        quarantine size), ``admission`` (in-flight slots, draining).
+        ``healthy`` is the conjunction of the component ``ok`` flags --
+        the chaos smoke's end-of-soak assertion.
+        """
+        engine_health = self.engine.health()
+        batcher_ok = self.batcher._thread.is_alive() and not self.batcher._stopped
+        components = {
+            **engine_health,
+            "batcher": {
+                "ok": batcher_ok,
+                "unresolved": self.batcher.unresolved_count(),
+                "quarantined": len(self.batcher._quarantined),
+            },
+            "admission": {
+                "ok": not self.admission.draining,
+                "in_flight": self.admission.in_flight,
+                "draining": self.admission.draining,
+            },
+        }
+        healthy = all(c.get("ok", False) for c in components.values())
+        return {"status": "ok", "healthy": healthy, "components": components}
 
     def _handle_query(self, request: dict) -> dict:
         name = request.get("name", "query")
@@ -289,7 +377,10 @@ class OrisDaemon:
             return {"status": "error", "error": "timeout_s must be a number"}
         decision = self.admission.try_admit(len(sequence))
         if not decision.admitted:
-            return {"status": decision.status, "reason": decision.reason}
+            response: dict = {"status": decision.status, "reason": decision.reason}
+            if decision.status == "shed":
+                response["retry_after_ms"] = self.config.retry_after_ms
+            return response
         pending = PendingQuery(
             name=name,
             sequence=sequence,
@@ -297,9 +388,17 @@ class OrisDaemon:
         )
         with span("serve.request", query=name, nt=len(sequence)):
             self.batcher.submit(pending)
-            # The batcher always resolves (ok/error/draining/timeout); the
-            # extra grace covers a batch that started just under the wire.
+            # The batcher always resolves (ok/error/draining/timeout/
+            # poisoned); the extra grace covers a batch that started just
+            # under the wire.
             if not pending.wait(timeout_s + self.config.drain_timeout_s + 5.0):
+                # Giving up MUST cancel: the pending's eventual resolution
+                # would otherwise release an admission slot nobody holds
+                # -- and if it never resolves (a wedged batch), the slot
+                # would leak and the daemon would shed forever.  cancel()
+                # resolves it idempotently, so exactly one release fires
+                # whether we or the batcher get there first.
+                self.batcher.cancel(pending)
                 self.registry.inc("serve.requests_failed")
                 return {
                     "status": "timeout",
@@ -310,4 +409,7 @@ class OrisDaemon:
         if pending.status == "draining":
             return {"status": "draining", "reason": pending.error}
         self.registry.inc("serve.requests_failed")
-        return {"status": pending.status, "error": pending.error}
+        response = {"status": pending.status, "error": pending.error}
+        if pending.kind:
+            response["kind"] = pending.kind
+        return response

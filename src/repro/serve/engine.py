@@ -63,7 +63,8 @@ from ..index.seed_index import CommonCodes, CsrSeedIndex
 from ..io.bank import Bank
 from ..io.m8 import format_m8
 from ..obs import MetricsRegistry, ObsSpec, span
-from ..runtime.errors import ResourceExhausted
+from ..runtime import faults
+from ..runtime.errors import PoolUnhealthy, ResourceExhausted, TaskPoisoned
 from ..runtime.scheduler import (
     RuntimeConfig,
     ShutdownRequest,
@@ -144,6 +145,7 @@ class BatchEngine:
         tasks_per_worker: int = 4,
         registry: MetricsRegistry | None = None,
         obs: ObsSpec | None = None,
+        task_timeout: float | None = None,
     ):
         p = params or OrisParams()
         if p.strand != "plus":
@@ -176,8 +178,19 @@ class BatchEngine:
             tasks_per_worker=tasks_per_worker,
             use_shm=use_shm,
             start_method=start_method,
+            # Strict: a poisoned range or an unhealthy pool must *raise*
+            # out of run_batch -- the batcher's bisection owns failure
+            # isolation, so silently degraded (partial) answers here
+            # would violate byte-equivalence with single-shot compare.
+            strict=True,
+            # A hung worker is only detectable by deadline; bound every
+            # range task so a wedged batch resolves instead of wedging
+            # the daemon (the scheduler kills and requeues on expiry).
+            task_timeout=task_timeout,
         )
-        self.pool = WorkerPool(self.config.n_workers, start_method)
+        self.pool = WorkerPool(
+            self.config.n_workers, start_method, registry=self.registry
+        )
         # Publish the subject-side arrays once: every batch's workers
         # attach the same pages, so per-request cost is query-sized.
         self._use_shm = use_shm and self.config.n_workers > 1
@@ -221,6 +234,22 @@ class BatchEngine:
     def __exit__(self, *exc: object) -> None:
         self.close()
 
+    def health(self) -> dict:
+        """Pool and arena component states (the daemon's ``health`` op)."""
+        arena_ok = (not self._use_shm) or self._base_arena is not None
+        return {
+            "pool": self.pool.health(),
+            "arena": {
+                "ok": arena_ok,
+                "shm": self._use_shm,
+                "bytes": (
+                    int(self._base_arena.nbytes)
+                    if self._base_arena is not None
+                    else 0
+                ),
+            },
+        }
+
     # ------------------------------------------------------------------ #
     # Per-query parameters
     # ------------------------------------------------------------------ #
@@ -241,6 +270,14 @@ class BatchEngine:
         """
         if not queries:
             return []
+        if faults.armed():
+            # Chaos hook: a designated query deterministically fails its
+            # batch, exercising the batcher's bisection + quarantine.
+            for name, _seq in queries:
+                if faults.should_fire("serve.poison_query", name):
+                    raise TaskPoisoned(
+                        f"fault injection: query {name!r} poisons its batch"
+                    )
         t_batch = time.perf_counter()
         encoded = [encode(seq) for _name, seq in queries]
         names = [name for name, _seq in queries]
@@ -248,11 +285,18 @@ class BatchEngine:
         merged = Bank(names, encoded)
         thresholds = [self._query_threshold(b) for b in qbanks]
 
-        with span("serve.batch", n_queries=len(queries)):
-            table_per_query = self._step2(merged, min(thresholds), thresholds)
-            out: list[str] = []
-            for qbank, table in zip(qbanks, table_per_query):
-                out.append(self._finish_query(qbank, table))
+        try:
+            with span("serve.batch", n_queries=len(queries)):
+                table_per_query = self._step2(merged, min(thresholds), thresholds)
+                out: list[str] = []
+                for qbank, table in zip(qbanks, table_per_query):
+                    out.append(self._finish_query(qbank, table))
+        except PoolUnhealthy:
+            # The pool burnt its failure budget on this batch.  Swap it
+            # wholesale -- the next batch leases a fresh pool -- and let
+            # the batcher's bisection decide who was to blame.
+            self.pool.replace()
+            raise
         self.registry.observe("serve.batch_size", len(queries))
         self.registry.observe("serve.batch_residues", merged.size_nt)
         self.registry.observe(

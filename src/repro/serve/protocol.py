@@ -25,6 +25,8 @@ import json
 import socket
 import struct
 
+from ..runtime import faults
+
 __all__ = [
     "MAX_FRAME_BYTES",
     "ProtocolError",
@@ -51,9 +53,20 @@ def send_frame(sock: socket.socket, obj: dict) -> None:
         raise ProtocolError(
             f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
         )
+    frame = _HEADER.pack(len(body)) + body
+    if faults.should_fire("serve.torn_frame"):
+        # Chaos hook: deliver half the frame, then die the way a killed
+        # peer does.  The receiver must diagnose a mid-frame EOF / reset
+        # instead of trusting a truncated body.
+        sock.sendall(frame[: max(len(frame) // 2, 1)])
+        try:
+            sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+        raise ConnectionResetError("fault injection: frame torn mid-send")
     # One sendall: the header must never be split from its body by an
     # exception in between, or the peer desynchronises.
-    sock.sendall(_HEADER.pack(len(body)) + body)
+    sock.sendall(frame)
 
 
 def _recv_exactly(sock: socket.socket, n: int) -> bytes | None:
@@ -85,7 +98,7 @@ def recv_frame(sock: socket.socket) -> dict | None:
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(
-            f"peer announced a {length}-byte frame "
+            f"frame too large: peer announced {length} bytes "
             f"(cap is {MAX_FRAME_BYTES}); refusing to allocate"
         )
     body = _recv_exactly(sock, length)

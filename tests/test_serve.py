@@ -198,17 +198,20 @@ class TestMicroBatcher:
             batcher.drain(timeout=5.0)
 
     def test_engine_failure_answers_every_query(self):
+        """A query whose batch keeps failing is answered ``poisoned``."""
         registry = MetricsRegistry()
-        batcher = MicroBatcher(
-            _FakeEngine(fail=True), max_delay_ms=5.0, registry=registry
-        )
+        engine = _FakeEngine(fail=True)
+        batcher = MicroBatcher(engine, max_delay_ms=5.0, registry=registry)
         batcher.start()
         try:
             p = PendingQuery("q", "ACGT")
             batcher.submit(p)
             assert p.wait(5.0)
-            assert p.status == "error" and "exploded" in p.error
+            assert p.status == "poisoned" and "exploded" in p.error
             assert registry.value("serve.requests_failed") == 1
+            assert registry.value("serve.queries_poisoned") == 1
+            # The singleton was retried once before the verdict.
+            assert len(engine.batches) == 2
         finally:
             batcher.drain(timeout=5.0)
 
