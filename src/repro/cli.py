@@ -31,6 +31,14 @@ working)::
 
     scoris-n serve bank2.fa --port 7878 --workers 4
     scoris-n query queries.fa --port 7878 -o hits.m8
+
+Serve a *mutable* subject bank (crash-safe segment store on disk) and
+change it while queries are in flight::
+
+    scoris-n serve seed.fa --store bankdir/ --port 7878
+    scoris-n add-sequences new.fa --port 7878
+    scoris-n remove-sequences contig7 contig9 --port 7878
+    scoris-n reindex --port 7878
 """
 
 from __future__ import annotations
@@ -69,6 +77,7 @@ from .runtime.errors import (
 
 __all__ = [
     "main",
+    "build_admin_parser",
     "build_parser",
     "build_query_parser",
     "build_serve_parser",
@@ -315,7 +324,28 @@ def build_serve_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
-        "bank", help="subject bank to serve (FASTA, optionally gzip)"
+        "bank", nargs="?", default=None,
+        help="subject bank to serve (FASTA, optionally gzip); with "
+        "--store, only needed (and only accepted) to seed a new store",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="serve a *mutable* subject bank backed by a crash-safe "
+        "segment store in DIR (WAL + immutable segments + atomic "
+        "manifest).  First run: give a seed bank to initialise the "
+        "store; later runs reopen DIR and the bank argument must be "
+        "omitted.  Enables the add-sequences / remove-sequences / "
+        "reindex admin commands",
+    )
+    parser.add_argument(
+        "--store-flush-nt", type=int, default=8_000_000, metavar="NT",
+        help="fold the in-memory delta into an immutable segment once "
+        "it holds this many nucleotides (default 8000000)",
+    )
+    parser.add_argument(
+        "--store-max-segments", type=int, default=8, metavar="N",
+        help="compact the store down to one segment when it exceeds "
+        "this many (default 8)",
     )
     parser.add_argument(
         "--host", default="127.0.0.1", help="bind address (default: loopback)"
@@ -412,6 +442,54 @@ def build_query_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_admin_parser(command: str) -> argparse.ArgumentParser:
+    """Parser for the bank-mutation admin commands.
+
+    ``add-sequences`` sends FASTA records to a running ``serve --store``
+    daemon; ``remove-sequences`` tombstones sequences by name;
+    ``reindex`` compacts the daemon's segment store.  All three are
+    zero-downtime: queries in flight keep running against the old bank
+    and later queries see the new one.
+    """
+    descriptions = {
+        "add-sequences": "Durably add the sequences of a FASTA file to "
+        "a running 'scoris-n serve --store' daemon's subject bank.",
+        "remove-sequences": "Durably remove sequences (by name) from a "
+        "running 'scoris-n serve --store' daemon's subject bank.",
+        "reindex": "Compact a running daemon's segment store down to "
+        "one segment (folds the delta, drops tombstones, resets the WAL).",
+    }
+    parser = argparse.ArgumentParser(
+        prog=f"scoris-n {command}",
+        description=descriptions[command],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    if command == "add-sequences":
+        parser.add_argument(
+            "sequences", help="sequences to add (FASTA, optionally gzip)"
+        )
+        _add_ingest_arg(parser)
+    elif command == "remove-sequences":
+        parser.add_argument(
+            "names", nargs="+", help="sequence names to remove"
+        )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="daemon address (default: loopback)"
+    )
+    parser.add_argument(
+        "--port", type=int, required=True, help="daemon port (see READY line)"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="socket timeout for the operation (default 300; compaction "
+        "of a large store can take a while)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    return parser
+
+
 def _fail_usage(message: str) -> int:
     print(f"scoris-n: {message}", file=sys.stderr)
     return EXIT_USAGE
@@ -467,7 +545,14 @@ def _load_banks(args) -> tuple:
 
 
 #: Recognised first tokens; anything else is an implicit ``compare``.
-_SUBCOMMANDS = ("compare", "serve", "query")
+_SUBCOMMANDS = (
+    "compare",
+    "serve",
+    "query",
+    "add-sequences",
+    "remove-sequences",
+    "reindex",
+)
 
 
 def run(argv: list[str] | None = None) -> int:
@@ -495,6 +580,10 @@ def run(argv: list[str] | None = None) -> int:
     elif command == "query":
         args = build_query_parser().parse_args(rest)
         execute = _execute_query
+    elif command in ("add-sequences", "remove-sequences", "reindex"):
+        args = build_admin_parser(command).parse_args(rest)
+        args.command = command
+        execute = _execute_admin
     else:
         args = build_parser().parse_args(rest)
         execute = _execute
@@ -761,9 +850,6 @@ def _execute_serve(args) -> int:
     if obs.trace_path is not None:
         configure_tracing(obs.trace_path)
 
-    bank2, report = load_bank(args.bank, policy=args.ingest)
-    if report.warnings:
-        _print_diagnostics(report.warnings)
     params = OrisParams(
         w=args.word_size,
         scoring=ScoringScheme(
@@ -777,6 +863,56 @@ def _execute_serve(args) -> int:
         band_radius=args.band_radius,
         sort_key=args.sort,
     )
+
+    # Subject source: a plain immutable bank, or a mutable segment store
+    # (optionally seeded from a bank on its very first run).
+    store = None
+    bank2 = None
+    if args.store is not None:
+        from .index import SegmentStore
+
+        try:
+            store = SegmentStore.open(
+                args.store,
+                expect_w=params.w,
+                expect_filter=params.filter_kind,
+            )
+        except FileNotFoundError:
+            if args.bank is None:
+                return _fail_usage(
+                    f"--store {args.store} holds no store yet; give a "
+                    "seed bank argument to initialise it"
+                )
+            seed_bank, report = load_bank(args.bank, policy=args.ingest)
+            if report.warnings:
+                _print_diagnostics(report.warnings)
+            store = SegmentStore.create(
+                args.store, w=params.w, filter_kind=params.filter_kind
+            )
+            store.add_many(list(seed_bank.iter_records()))
+            store.flush()
+        except ValueError as exc:
+            return _fail_usage(str(exc))
+        else:
+            if args.bank is not None:
+                store.close()
+                return _fail_usage(
+                    f"--store {args.store} is already initialised; omit "
+                    "the bank argument (grow it with add-sequences)"
+                )
+        if store.n_sequences == 0:
+            store.close()
+            return _fail_usage(
+                f"--store {args.store} holds no sequences; seed it with "
+                "a bank argument"
+            )
+    else:
+        if args.bank is None:
+            return _fail_usage("serve needs a subject bank (or --store DIR)")
+        bank2, report = load_bank(args.bank, policy=args.ingest)
+        if report.warnings:
+            _print_diagnostics(report.warnings)
+
     try:
         config = ServeConfig(
             host=args.host,
@@ -790,12 +926,15 @@ def _execute_serve(args) -> int:
             request_timeout_s=args.request_timeout,
             use_shm=not args.no_shm,
             check_memory=not args.no_memory_check,
+            store_flush_nt=args.store_flush_nt,
+            store_max_segments=args.store_max_segments,
         )
     except ValueError as exc:
         return _fail_usage(str(exc))
     stop = ShutdownRequest()
     daemon = OrisDaemon(
-        bank2, params, config, index_cache=index_cache, obs=obs, stop=stop
+        bank2, params, config, index_cache=index_cache, obs=obs, stop=stop,
+        store=store,
     )
     try:
         daemon.start()
@@ -838,6 +977,14 @@ def _print_serve_stats(registry) -> None:
             f"# serve queue depth (last): {gauges['serve.queue_depth']['value']}",
             file=sys.stderr,
         )
+    store_gauges = {
+        k: v for k, v in sorted(gauges.items()) if k.startswith("index.")
+    }
+    if store_gauges:
+        pairs = " ".join(
+            f"{k.split('.')[-1]}={v['value']:g}" for k, v in store_gauges.items()
+        )
+        print(f"# segment store: {pairs}", file=sys.stderr)
     for name in ("serve.batch_size", "serve.batch_latency_seconds"):
         h = histograms.get(name)
         if h and h.get("count"):
@@ -880,6 +1027,62 @@ def _execute_query(args) -> int:
             file=sys.stderr,
         )
         return EXIT_RESOURCE
+    return EXIT_OK
+
+
+def _execute_admin(args) -> int:
+    """``add-sequences`` / ``remove-sequences`` / ``reindex``."""
+    from .serve.client import OrisClient, QueryFailed, ServiceError
+    from .serve.protocol import ProtocolError
+
+    request_records = None
+    if args.command == "add-sequences":
+        from .io.validate import validate_records
+
+        request_records, report = validate_records(
+            args.sequences, policy=args.ingest
+        )
+        if report.warnings:
+            _print_diagnostics(report.warnings)
+        if not request_records:
+            print("scoris-n: no sequences to add", file=sys.stderr)
+            return EXIT_INPUT
+    try:
+        with OrisClient(
+            args.host, args.port, timeout=args.timeout, retries=0
+        ) as client:
+            if args.command == "add-sequences":
+                result = client.add_sequences(request_records)
+                action = f"added {len(request_records)} sequence(s)"
+            elif args.command == "remove-sequences":
+                result = client.remove_sequences(args.names)
+                action = f"removed {len(args.names)} sequence(s)"
+            else:
+                result = client.reindex()
+                action = "compacted the store"
+    except QueryFailed as exc:
+        # The daemon answered with a structured refusal (duplicate name,
+        # unknown name, static bank, ...): bad input, not bad service.
+        print(f"scoris-n: {args.command} rejected: {exc}", file=sys.stderr)
+        return EXIT_INPUT
+    except (ServiceError, ProtocolError) as exc:
+        print(f"scoris-n: {args.command} failed: {exc}", file=sys.stderr)
+        return EXIT_RESOURCE
+    except ConnectionError as exc:
+        print(
+            f"scoris-n: cannot reach daemon at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return EXIT_RESOURCE
+    store = result.get("store", {})
+    print(
+        f"scoris-n: {action}: generation={result.get('generation')} "
+        f"n_sequences={result.get('n_sequences')} "
+        f"size_nt={result.get('size_nt')} "
+        f"segments={store.get('segments')} "
+        f"wal_records={store.get('wal_records')} "
+        f"tombstones={store.get('tombstones')}"
+    )
     return EXIT_OK
 
 

@@ -7,7 +7,9 @@ from .seed_index import (
     valid_window_mask,
 )
 from .asymmetric import build_asymmetric_indexes
+from .manifest import Manifest, SegmentEntry, load_latest, publish_manifest
 from .persist import IndexCache, load_index, save_index
+from .segments import SegmentStore, StoreFailed
 from .memory import (
     IndexMemoryReport,
     csr_memory_report,
@@ -26,6 +28,12 @@ __all__ = [
     "index_memory_report",
     "predicted_bytes",
     "IndexCache",
+    "Manifest",
+    "SegmentEntry",
+    "SegmentStore",
+    "StoreFailed",
     "load_index",
+    "load_latest",
+    "publish_manifest",
     "save_index",
 ]

@@ -1,0 +1,256 @@
+"""CRC'd, atomically published manifests for the segmented seed index.
+
+A :class:`~repro.index.segments.SegmentStore` directory is described by a
+*manifest*: which immutable segment archives make up the current segment
+set, which sequence names are tombstoned, and which write-ahead log file
+carries the mutations not yet folded into a segment.
+
+Durability design (the store's crash-safety argument rests on this file):
+
+* Manifests are **generation files** -- ``manifest_<gen>.json`` -- never
+  rewritten in place.  Publishing generation ``g`` writes a temp file,
+  ``fsync``\\ s it, ``os.replace``\\ s it to its final name, and fsyncs
+  the directory.  A ``SIGKILL`` at any byte therefore leaves either no
+  ``manifest_<g>.json`` (the previous generation stays current) or a
+  complete one -- never a torn one.
+* Every manifest embeds a CRC-32 over its canonical JSON body.  A torn
+  or bit-rotten manifest *cannot* be mistaken for a valid one:
+  :func:`load_latest` walks generations newest-first and returns the
+  first manifest that parses **and** passes its checksum; everything
+  newer is crash debris for the janitor.
+* Older generations are deleted only *after* the new one is durable, so
+  there is always at least one valid manifest on disk once the store has
+  been created.
+
+The ``index.manifest_torn`` fault point simulates the pathology the CRC
+exists for: a half-written manifest published without the temp-file
+dance.  Recovery must fall back to the previous generation and reap the
+torn file -- ``tests/test_segments.py`` and
+``scripts/ci_index_crash_smoke.py`` prove it does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..runtime import faults
+from ..runtime.errors import IndexCorrupt
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "Manifest",
+    "SegmentEntry",
+    "load_latest",
+    "manifest_generation",
+    "manifest_path",
+    "publish_manifest",
+]
+
+#: Manifest format version (bump on layout changes).
+MANIFEST_VERSION = 1
+
+_PREFIX = "manifest_"
+_SUFFIX = ".json"
+
+
+@dataclass(frozen=True)
+class SegmentEntry:
+    """One immutable segment archive referenced by a manifest."""
+
+    file: str
+    n_sequences: int
+    n_nt: int
+    nbytes: int
+
+    def as_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "n_sequences": self.n_sequences,
+            "n_nt": self.n_nt,
+            "nbytes": self.nbytes,
+        }
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """The published state of one segment-store generation."""
+
+    generation: int
+    w: int
+    filter_kind: str | None
+    segments: tuple[SegmentEntry, ...] = ()
+    tombstones: tuple[str, ...] = ()
+    wal: str = ""
+    #: Running total of compactions across the store's life (carried
+    #: forward so restarts keep reporting a meaningful counter).
+    compactions: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def body(self) -> dict:
+        """Canonical JSON-able body (everything the CRC covers)."""
+        return {
+            "kind": "scoris-segment-manifest",
+            "version": MANIFEST_VERSION,
+            "generation": self.generation,
+            "w": self.w,
+            "filter": self.filter_kind,
+            "segments": [s.as_dict() for s in self.segments],
+            "tombstones": list(self.tombstones),
+            "wal": self.wal,
+            "compactions": self.compactions,
+            "meta": self.meta,
+        }
+
+    def encode(self) -> bytes:
+        body = json.dumps(self.body(), sort_keys=True)
+        crc = zlib.crc32(body.encode("utf-8"))
+        return json.dumps({"crc": crc, "body": json.loads(body)},
+                          sort_keys=True).encode("utf-8")
+
+
+def decode_manifest(data: bytes, origin: str = "<memory>") -> Manifest:
+    """Parse + checksum-verify one manifest file's bytes.
+
+    Raises :class:`~repro.runtime.errors.IndexCorrupt` on any damage --
+    torn JSON, checksum mismatch, wrong version, missing fields.
+    """
+    try:
+        outer = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise IndexCorrupt(f"manifest {origin} is not valid JSON: {exc}") from None
+    if not isinstance(outer, dict) or "body" not in outer or "crc" not in outer:
+        raise IndexCorrupt(f"manifest {origin} is missing its body or checksum")
+    body = outer["body"]
+    canonical = json.dumps(body, sort_keys=True).encode("utf-8")
+    if zlib.crc32(canonical) != outer["crc"]:
+        raise IndexCorrupt(
+            f"manifest {origin} failed its checksum (torn or corrupted publish)"
+        )
+    if body.get("kind") != "scoris-segment-manifest":
+        raise IndexCorrupt(f"manifest {origin} is not a segment-store manifest")
+    if body.get("version") != MANIFEST_VERSION:
+        raise IndexCorrupt(
+            f"manifest {origin}: unsupported version {body.get('version')!r} "
+            f"(expected {MANIFEST_VERSION})"
+        )
+    try:
+        return Manifest(
+            generation=int(body["generation"]),
+            w=int(body["w"]),
+            filter_kind=body["filter"],
+            segments=tuple(
+                SegmentEntry(
+                    file=str(s["file"]),
+                    n_sequences=int(s["n_sequences"]),
+                    n_nt=int(s["n_nt"]),
+                    nbytes=int(s["nbytes"]),
+                )
+                for s in body["segments"]
+            ),
+            tombstones=tuple(str(t) for t in body["tombstones"]),
+            wal=str(body["wal"]),
+            compactions=int(body.get("compactions", 0)),
+            meta=dict(body.get("meta", {})),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise IndexCorrupt(f"manifest {origin} has a malformed body: {exc}") from exc
+
+
+def manifest_path(directory, generation: int) -> Path:
+    return Path(directory) / f"{_PREFIX}{generation:08d}{_SUFFIX}"
+
+
+def manifest_generation(path) -> int | None:
+    """Generation encoded in a manifest filename (``None`` if not one)."""
+    name = Path(path).name
+    if not (name.startswith(_PREFIX) and name.endswith(_SUFFIX)):
+        return None
+    try:
+        return int(name[len(_PREFIX) : -len(_SUFFIX)])
+    except ValueError:
+        return None
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Make a rename durable (POSIX: the directory entry needs its own
+    fsync; without it a power cut can forget the file existed)."""
+    try:
+        fd = os.open(os.fspath(directory), os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def publish_manifest(directory, manifest: Manifest) -> Path:
+    """Atomically publish *manifest* as the store's newest generation.
+
+    Write-temp, fsync, rename, fsync-dir: a crash at any point leaves
+    either the previous generation current or the new one complete.  The
+    ``index.manifest_torn`` fault point instead writes a *torn* final
+    file (simulating a non-atomic filesystem or a bug in this very
+    dance) and raises, so tests can prove recovery falls back cleanly.
+    """
+    directory = Path(directory)
+    path = manifest_path(directory, manifest.generation)
+    data = manifest.encode()
+    if faults.should_fire("index.manifest_torn", str(path)):
+        with open(path, "wb") as fh:
+            fh.write(data[: max(len(data) // 2, 1)])
+            fh.flush()
+            os.fsync(fh.fileno())
+        raise RuntimeError(
+            f"fault injection: manifest {path.name} torn mid-publish"
+        )
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(directory)
+    return path
+
+
+def load_latest(directory) -> tuple[Manifest | None, list[Path]]:
+    """Newest valid manifest in *directory*, plus every stale/torn one.
+
+    Walks manifest generations newest-first; the first file that decodes
+    and passes its CRC wins.  Returns ``(manifest, debris)`` where
+    ``debris`` lists every *other* manifest file found -- torn newer
+    generations and superseded older ones alike -- for the janitor to
+    reap.  ``(None, debris)`` when no valid manifest exists.
+    """
+    directory = Path(directory)
+    candidates: list[tuple[int, Path]] = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return None, []
+    for name in names:
+        gen = manifest_generation(name)
+        if gen is not None:
+            candidates.append((gen, directory / name))
+    candidates.sort(reverse=True)
+    chosen: Manifest | None = None
+    debris: list[Path] = []
+    for gen, path in candidates:
+        if chosen is not None:
+            debris.append(path)
+            continue
+        try:
+            manifest = decode_manifest(path.read_bytes(), origin=path.name)
+        except (IndexCorrupt, OSError):
+            debris.append(path)
+            continue
+        if manifest.generation != gen:
+            debris.append(path)
+            continue
+        chosen = manifest
+    return chosen, debris

@@ -37,11 +37,17 @@ from __future__ import annotations
 import hashlib
 import json
 import mmap
+import contextlib
 import os
 import struct
 import zlib
 import zipfile
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 import numpy as np
 
@@ -418,7 +424,18 @@ class IndexCache:
     refresh an archive's access time, so the policy is LRU over whole
     archives.  Eviction only ever considers ``*.scoris3`` files -- a
     cache directory pointed at pre-existing data will not eat it.
+
+    The cache is safe to share between processes (daemons pointed at the
+    same ``--index-cache``): probe-and-load and store-and-evict each run
+    under an exclusive ``flock`` on ``.scoris-cache.lock``, so one
+    daemon's LRU eviction can never unlink an archive another daemon is
+    between ``is_file()`` and ``load_index()`` on.  Index *builds* (the
+    expensive part) happen outside the lock; two simultaneous misses
+    build twice and the second atomic publish harmlessly wins.
     """
+
+    #: Cross-process mutex file created inside the cache directory.
+    LOCK_NAME = ".scoris-cache.lock"
 
     def __init__(self, directory, max_bytes: int | None = None):
         if max_bytes is not None and max_bytes < 1:
@@ -449,24 +466,51 @@ class IndexCache:
         from ..filters import make_filter_mask
 
         path = self.path_for(self.key(bank, w, filter_kind))
-        if path.is_file():
-            if faults.should_fire("index.cache_corrupt", str(path)):
-                _flip_one_byte(path)
-            try:
-                index = load_index(path)
-            except IndexCorrupt:
-                path.unlink(missing_ok=True)  # self-heal: rebuild below
-            else:
-                self.hits += 1
-                self._touch(path)
-                return index
+        with self._lock():
+            if path.is_file():
+                if faults.should_fire("index.cache_corrupt", str(path)):
+                    _flip_one_byte(path)
+                try:
+                    index = load_index(path)
+                except IndexCorrupt:
+                    path.unlink(missing_ok=True)  # self-heal: rebuild below
+                else:
+                    self.hits += 1
+                    self._touch(path)
+                    return index
+        # Build outside the lock: an index build can take minutes, and
+        # other processes' cache *hits* must not queue behind it.
         self.misses += 1
         index = CsrSeedIndex(bank, w, make_filter_mask(bank, filter_kind))
         tmp = path.with_suffix(".tmp")
-        _save_v3(tmp, index)
-        os.replace(tmp, path)  # atomic publish: readers never see a torn file
-        self._evict(keep=path)
+        with self._lock():
+            _save_v3(tmp, index)
+            os.replace(tmp, path)  # atomic publish: never a torn file
+            self._evict(keep=path)
         return index
+
+    @contextlib.contextmanager
+    def _lock(self):
+        """Exclusive cross-process section (flock on a sidecar file).
+
+        Degrades to a no-op where ``flock`` is unavailable (or the cache
+        directory vanished) -- single-process behaviour is unchanged
+        either way; the lock only exists so concurrent daemons cannot
+        interleave eviction with probe-and-load.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        try:
+            fh = open(self.directory / self.LOCK_NAME, "ab")
+        except OSError:  # pragma: no cover - cache dir raced away
+            yield
+            return
+        try:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            yield
+        finally:
+            fh.close()  # closing the descriptor releases the flock
 
     @staticmethod
     def _touch(path: Path) -> None:

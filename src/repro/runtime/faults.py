@@ -32,6 +32,10 @@ Known points (hook sites in parentheses):
 - ``serve.poison_query`` -- deterministic per-query poison (batch engine)
 - ``index.cache_corrupt``-- flip a byte in the cached archive (IndexCache)
 - ``shm.unlink_race``    -- arena vanished between publish and attach (shm)
+- ``index.manifest_torn``-- half-written segment-store manifest (manifest)
+- ``index.compact_crash``-- die between segment write and manifest publish
+  (segment store flush/compact)
+- ``index.wal_truncate`` -- WAL record torn mid-append (segment store)
 """
 
 from __future__ import annotations
@@ -66,6 +70,9 @@ FAULT_POINTS = frozenset(
         "serve.poison_query",
         "index.cache_corrupt",
         "shm.unlink_race",
+        "index.manifest_torn",
+        "index.compact_crash",
+        "index.wal_truncate",
     }
 )
 

@@ -206,6 +206,46 @@ class OrisClient:
             raise QueryPoisoned(reason, kind=response.get("kind", ""))
         raise QueryFailed(f"{status}: {reason}")
 
+    def _admin(self, request: dict) -> dict:
+        """One mutation round-trip.
+
+        Deliberately *not* retried: a connection that dies after the
+        request was sent leaves the mutation's fate unknown, and
+        replaying an ``add_sequences`` would then fail on the duplicate
+        names (mutations are validated whole-batch, so the error is
+        clean -- but it is the caller's decision, not the client's).
+        """
+        response = self._roundtrip(request)
+        status = response.get("status")
+        if status == "ok":
+            return response
+        reason = response.get("reason", response.get("error", "unknown"))
+        if status == "draining":
+            raise ServerDraining(reason)
+        raise QueryFailed(f"{status}: {reason}")
+
+    def add_sequences(self, records: list[tuple[str, str]]) -> dict:
+        """Durably add ``(name, sequence)`` pairs to the daemon's bank.
+
+        Returns the server's report (new generation, sequence count,
+        store health).  The swap is zero-downtime server-side: queries
+        in flight finish against the old bank, later ones see the new.
+        """
+        return self._admin(
+            {
+                "type": "add_sequences",
+                "records": [[n, s] for n, s in records],
+            }
+        )
+
+    def remove_sequences(self, names: list[str]) -> dict:
+        """Durably remove sequences from the daemon's bank by name."""
+        return self._admin({"type": "remove_sequences", "names": list(names)})
+
+    def reindex(self) -> dict:
+        """Compact the daemon's segment store down to one segment."""
+        return self._admin({"type": "reindex"})
+
     def stats(self) -> dict:
         """Fetch the daemon's live metrics snapshot."""
         response = self._roundtrip({"type": "stats"})

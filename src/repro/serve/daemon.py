@@ -65,6 +65,13 @@ class ServeConfig:
     #: Backoff hint shipped in ``shed`` responses; a well-behaved client
     #: (``OrisClient``) sleeps roughly this long before retrying.
     retry_after_ms: float = 100.0
+    #: Segment-store maintenance policy (only daemons started with a
+    #: store mutate): the delta is flushed into an immutable segment
+    #: once it holds this many nucleotides...
+    store_flush_nt: int = 8_000_000
+    #: ...and the store is compacted to one segment when flushing has
+    #: accumulated more than this many.
+    store_max_segments: int = 8
 
     def __post_init__(self) -> None:
         if self.request_timeout_s <= 0:
@@ -80,13 +87,14 @@ class OrisDaemon:
 
     def __init__(
         self,
-        bank2: Bank,
+        bank2: Bank | None = None,
         params: OrisParams | None = None,
         config: ServeConfig | None = None,
         index_cache=None,
         registry: MetricsRegistry | None = None,
         obs: ObsSpec | None = None,
         stop: ShutdownRequest | None = None,
+        store=None,
     ):
         self.config = config or ServeConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -104,6 +112,9 @@ class OrisDaemon:
             # worker (or a wedged kernel) must surface as a recoverable
             # task timeout, never as a daemon that stops answering.
             task_timeout=self.config.request_timeout_s,
+            store=store,
+            store_flush_nt=self.config.store_flush_nt,
+            store_max_segments=self.config.store_max_segments,
         )
         self.admission = AdmissionController(
             max_queue=self.config.max_queue,
@@ -329,8 +340,54 @@ class OrisDaemon:
             }
         if kind == "query":
             return self._handle_query(request)
+        if kind in ("add_sequences", "remove_sequences", "reindex"):
+            return self._handle_admin(kind, request)
         self.registry.inc("serve.requests_failed")
         return {"status": "error", "error": f"unknown request type {kind!r}"}
+
+    def _handle_admin(self, kind: str, request: dict) -> dict:
+        """Bank mutation ops: validate, mutate durably, swap, report.
+
+        The swap is zero-downtime by construction (see
+        :meth:`BatchEngine._swap_subject`): queries are never refused or
+        blocked while a mutation runs; a draining daemon refuses
+        mutations the same way it refuses queries.
+        """
+        if self.admission.draining:
+            return {"status": "draining", "reason": "daemon is shutting down"}
+        try:
+            if kind == "add_sequences":
+                raw = request.get("records")
+                if not isinstance(raw, list) or not raw:
+                    raise ValueError(
+                        "add_sequences needs a non-empty 'records' list of "
+                        "[name, sequence] pairs"
+                    )
+                records: list[tuple[str, str]] = []
+                for item in raw:
+                    if not isinstance(item, (list, tuple)) or len(item) != 2:
+                        raise ValueError(
+                            "each record must be a [name, sequence] pair"
+                        )
+                    records.append((item[0], item[1]))
+                result = self.engine.add_sequences(records)
+            elif kind == "remove_sequences":
+                names = request.get("names")
+                if not isinstance(names, list) or not names or not all(
+                    isinstance(n, str) for n in names
+                ):
+                    raise ValueError(
+                        "remove_sequences needs a non-empty 'names' list "
+                        "of strings"
+                    )
+                result = self.engine.remove_sequences(names)
+            else:
+                result = self.engine.reindex()
+        except ValueError as exc:
+            self.registry.inc("serve.admin_rejected")
+            return {"status": "error", "error": str(exc)}
+        self.registry.inc("serve.admin_ops")
+        return {"status": "ok", **result}
 
     def _handle_health(self) -> dict:
         """Structured liveness: per-component states plus one verdict.

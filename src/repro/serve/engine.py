@@ -40,8 +40,10 @@ one-seed-one-HSP argument survives concatenation.
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -74,6 +76,24 @@ from ..runtime.scheduler import (
 from ..runtime.shm import SharedArena, detach_block
 
 __all__ = ["BatchEngine", "expand_common_per_query"]
+
+
+@dataclass(frozen=True)
+class _Subject:
+    """One immutable snapshot of the engine's subject side.
+
+    The batcher thread reads ``self._subject`` exactly once per batch
+    and works off the snapshot, so a mutation thread can swap in a new
+    one mid-service without any batch ever seeing a half-updated
+    subject: in-flight batches finish on the snapshot they started
+    with, the next batch picks up the new one.
+    """
+
+    bank: Bank
+    index: CsrSeedIndex
+    arena: SharedArena | None
+    spec: object | None
+    generation: int
 
 
 def expand_common_per_query(
@@ -136,7 +156,7 @@ class BatchEngine:
 
     def __init__(
         self,
-        bank2: Bank,
+        bank2: Bank | None = None,
         params: OrisParams | None = None,
         n_workers: int = 1,
         start_method: str | None = None,
@@ -146,8 +166,16 @@ class BatchEngine:
         registry: MetricsRegistry | None = None,
         obs: ObsSpec | None = None,
         task_timeout: float | None = None,
+        store=None,
+        store_flush_nt: int = 8_000_000,
+        store_max_segments: int = 8,
     ):
         p = params or OrisParams()
+        if (bank2 is None) == (store is None):
+            raise ValueError(
+                "give the engine exactly one subject source: a static "
+                "bank2 or a SegmentStore"
+            )
         if p.strand != "plus":
             raise ValueError("the query service searches a single strand")
         if not p.ordered_cutoff:
@@ -158,21 +186,26 @@ class BatchEngine:
                 "(spaced/subset/asymmetric modes are batch-engine features)"
             )
         self.params = p
-        self.bank2 = bank2
+        self.store = store
+        self.store_flush_nt = store_flush_nt
+        self.store_max_segments = store_max_segments
         self.registry = registry if registry is not None else MetricsRegistry()
         self.obs = obs
         self.stats = karlin_params(p.scoring)
         self._engine = OrisEngine(p)
         self._never_stop = ShutdownRequest()  # batches always run to completion
         with span("serve.load_subject"):
-            if index_cache is not None:
-                self.index2 = index_cache.get(bank2, p.w, p.filter_kind)
+            if store is not None:
+                bank2, index2 = store.merged()
+                store.record_metrics(self.registry)
+            elif index_cache is not None:
+                index2 = index_cache.get(bank2, p.w, p.filter_kind)
                 index_cache.record_metrics(self.registry)
             else:
-                self.index2 = CsrSeedIndex(
+                index2 = CsrSeedIndex(
                     bank2, p.w, make_filter_mask(bank2, p.filter_kind)
                 )
-        self.index2.record_metrics(self.registry, "bank2")
+        index2.record_metrics(self.registry, "bank2")
         self.config = RuntimeConfig(
             n_workers=max(n_workers, 1),
             tasks_per_worker=tasks_per_worker,
@@ -191,24 +224,52 @@ class BatchEngine:
         self.pool = WorkerPool(
             self.config.n_workers, start_method, registry=self.registry
         )
-        # Publish the subject-side arrays once: every batch's workers
-        # attach the same pages, so per-request cost is query-sized.
+        # Publish the subject-side arrays once per subject generation:
+        # every batch's workers attach the same pages, so per-request
+        # cost is query-sized.  Mutations publish a *new* subject
+        # snapshot (bank + index + arena) and retire the old one; the
+        # old arena is unlinked only after the in-flight batch finishes
+        # (see :meth:`_reap_retired`), so no worker ever attaches a
+        # vanished block mid-batch.
         self._use_shm = use_shm and self.config.n_workers > 1
-        self._base_arena: SharedArena | None = None
-        self._base_spec = None
+        self._mutate_lock = threading.Lock()
+        self._retired_lock = threading.Lock()
+        self._retired: list[SharedArena] = []
+        generation = store.generation if store is not None else 0
+        self._subject = self._publish_subject(bank2, index2, generation)
+
+    @property
+    def bank2(self) -> Bank:
+        """The *current* subject bank (snapshot-read by each batch)."""
+        return self._subject.bank
+
+    @property
+    def index2(self) -> CsrSeedIndex:
+        """The *current* subject index (snapshot-read by each batch)."""
+        return self._subject.index
+
+    @property
+    def subject_generation(self) -> int:
+        """Segment-store generation of the current subject (0 = static)."""
+        return self._subject.generation
+
+    def _publish_subject(
+        self, bank: Bank, index: CsrSeedIndex, generation: int
+    ) -> _Subject:
+        """Build one subject snapshot, shm arena included (best-effort)."""
+        arena: SharedArena | None = None
+        spec = None
         if self._use_shm:
             try:
-                self._base_arena = SharedArena(
+                arena = SharedArena(
                     {
-                        "seq2": self.index2.bank.seq,
-                        "positions2": self.index2.positions,
-                        "ok2": self.index2.indexed_mask,
+                        "seq2": bank.seq,
+                        "positions2": index.positions,
+                        "ok2": index.indexed_mask,
                     }
                 )
-                self._base_spec = self._base_arena.spec
-                self.registry.inc(
-                    "shm.bytes_published", self._base_arena.nbytes
-                )
+                spec = arena.spec
+                self.registry.inc("shm.bytes_published", arena.nbytes)
             except ResourceExhausted as exc:
                 warnings.warn(
                     f"{exc}; serving without the shared subject arena",
@@ -216,17 +277,47 @@ class BatchEngine:
                     stacklevel=2,
                 )
                 self._use_shm = False
+        return _Subject(
+            bank=bank, index=index, arena=arena, spec=spec,
+            generation=generation,
+        )
+
+    def _reap_retired(self) -> None:
+        """Unlink arenas of superseded subjects (batcher thread only).
+
+        Called at the top of :meth:`run_batch`: the previous batch has
+        fully completed, so no worker still needs a retired subject's
+        pages.  Workers drop their own stale mappings on the next
+        payload switch (the scheduler diffs block names).
+        """
+        with self._retired_lock:
+            retired, self._retired = self._retired, []
+        for arena in retired:
+            block = arena.spec.block
+            arena.close()
+            detach_block(block)
+            self.registry.inc("serve.subject_arenas_reaped")
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
 
     def close(self) -> None:
-        """Stop pooled workers and unlink the subject arena (idempotent)."""
+        """Stop pooled workers and unlink subject arenas (idempotent)."""
         self.pool.stop()
-        if self._base_arena is not None:
-            self._base_arena.close()
-            self._base_arena = None
+        self._reap_retired()
+        subject = self._subject
+        if subject.arena is not None:
+            subject.arena.close()
+            self._subject = _Subject(
+                bank=subject.bank,
+                index=subject.index,
+                arena=None,
+                spec=None,
+                generation=subject.generation,
+            )
+        if self.store is not None:
+            self.store.close()
 
     def __enter__(self) -> "BatchEngine":
         return self
@@ -236,27 +327,104 @@ class BatchEngine:
 
     def health(self) -> dict:
         """Pool and arena component states (the daemon's ``health`` op)."""
-        arena_ok = (not self._use_shm) or self._base_arena is not None
-        return {
+        subject = self._subject
+        arena_ok = (not self._use_shm) or subject.arena is not None
+        components = {
             "pool": self.pool.health(),
             "arena": {
                 "ok": arena_ok,
                 "shm": self._use_shm,
                 "bytes": (
-                    int(self._base_arena.nbytes)
-                    if self._base_arena is not None
+                    int(subject.arena.nbytes)
+                    if subject.arena is not None
                     else 0
                 ),
             },
+        }
+        if self.store is not None:
+            components["store"] = self.store.health()
+        return components
+
+    # ------------------------------------------------------------------ #
+    # Bank mutation (segment-store daemons only)
+    # ------------------------------------------------------------------ #
+
+    def _require_store(self):
+        if self.store is None:
+            raise ValueError(
+                "this daemon serves an immutable bank; start serve with "
+                "--store to enable bank mutation"
+            )
+        return self.store
+
+    def add_sequences(self, records: list[tuple[str, str]]) -> dict:
+        """Durably add sequences, then swap in the new subject."""
+        store = self._require_store()
+        with self._mutate_lock:
+            store.add_many(records)
+            if store.delta_nt >= self.store_flush_nt:
+                store.flush()
+            if store.n_segments > self.store_max_segments:
+                store.compact()
+            self.registry.inc("serve.sequences_added", len(records))
+            return self._swap_subject()
+
+    def remove_sequences(self, names: list[str]) -> dict:
+        """Durably remove sequences by name, then swap in the new subject."""
+        store = self._require_store()
+        with self._mutate_lock:
+            if len(set(names)) >= store.n_sequences:
+                raise ValueError(
+                    "refusing to remove every sequence: the daemon needs "
+                    "a non-empty subject bank"
+                )
+            store.remove_many(names)
+            self.registry.inc("serve.sequences_removed", len(names))
+            return self._swap_subject()
+
+    def reindex(self) -> dict:
+        """Compact the store to one segment and swap in the new subject."""
+        store = self._require_store()
+        with self._mutate_lock:
+            store.compact()
+            return self._swap_subject()
+
+    def _swap_subject(self) -> dict:
+        """Publish the store's current merged view as the live subject.
+
+        The swap is one reference assignment: queries admitted before it
+        finish on the old snapshot, queries batched after it see the new
+        bank -- nothing is refused, nothing blocks.  The old arena goes
+        on the retire list for the batcher thread to unlink after the
+        in-flight batch completes.
+        """
+        store = self.store
+        bank, index = store.merged()
+        subject = self._publish_subject(bank, index, store.generation)
+        old = self._subject
+        self._subject = subject
+        if old.arena is not None:
+            with self._retired_lock:
+                self._retired.append(old.arena)
+        index.record_metrics(self.registry, "bank2")
+        store.record_metrics(self.registry)
+        self.registry.inc("serve.subject_swaps")
+        return {
+            "generation": subject.generation,
+            "n_sequences": bank.n_sequences,
+            "size_nt": bank.size_nt,
+            "store": store.health(),
         }
 
     # ------------------------------------------------------------------ #
     # Per-query parameters
     # ------------------------------------------------------------------ #
 
-    def _query_threshold(self, qbank: Bank) -> int:
+    def _query_threshold(self, qbank: Bank, subject: _Subject) -> int:
         """The S1 threshold a single-shot run of *qbank* would use."""
-        return self._engine._resolve_hsp_min_score(qbank, self.bank2, self.stats)
+        return self._engine._resolve_hsp_min_score(
+            qbank, subject.bank, self.stats
+        )
 
     # ------------------------------------------------------------------ #
     # One batch
@@ -279,18 +447,27 @@ class BatchEngine:
                         f"fault injection: query {name!r} poisons its batch"
                     )
         t_batch = time.perf_counter()
+        # Snapshot the subject once: the whole batch -- thresholds,
+        # step 2, e-values -- runs against one consistent generation
+        # even if a mutation swaps the live subject mid-batch.  Retired
+        # arenas are reaped first: the previous batch has completed, so
+        # their pages are no longer needed by anyone.
+        self._reap_retired()
+        subject = self._subject
         encoded = [encode(seq) for _name, seq in queries]
         names = [name for name, _seq in queries]
         qbanks = [Bank([n], [e]) for n, e in zip(names, encoded)]
         merged = Bank(names, encoded)
-        thresholds = [self._query_threshold(b) for b in qbanks]
+        thresholds = [self._query_threshold(b, subject) for b in qbanks]
 
         try:
             with span("serve.batch", n_queries=len(queries)):
-                table_per_query = self._step2(merged, min(thresholds), thresholds)
+                table_per_query = self._step2(
+                    subject, merged, min(thresholds), thresholds
+                )
                 out: list[str] = []
                 for qbank, table in zip(qbanks, table_per_query):
-                    out.append(self._finish_query(qbank, table))
+                    out.append(self._finish_query(subject, qbank, table))
         except PoolUnhealthy:
             # The pool burnt its failure budget on this batch.  Swap it
             # wholesale -- the next batch leases a fresh pool -- and let
@@ -306,17 +483,21 @@ class BatchEngine:
         return out
 
     def _step2(
-        self, merged: Bank, batch_threshold: int, thresholds: list[int]
+        self,
+        subject: _Subject,
+        merged: Bank,
+        batch_threshold: int,
+        thresholds: list[int],
     ) -> list[HSPTable]:
         """Shared ungapped pass; demultiplexed per-query HSP tables."""
         p = self.params
         index1 = CsrSeedIndex(merged, p.w, make_filter_mask(merged, p.filter_kind))
-        common = index1.common_codes(self.index2)
+        common = index1.common_codes(subject.index)
         expanded, _owners = expand_common_per_query(
             common, index1.positions, merged.starts
         )
         payload = build_range_payload(
-            index1, self.index2, expanded, p, batch_threshold, obs=self.obs
+            index1, subject.index, expanded, p, batch_threshold, obs=self.obs
         )
         ranges = plan_ranges(
             expanded,
@@ -329,7 +510,7 @@ class BatchEngine:
         if self._use_shm and ranges:
             try:
                 arena, worker_payload = publish_range_payload(
-                    payload, self.registry, base_spec=self._base_spec
+                    payload, self.registry, base_spec=subject.spec
                 )
             except ResourceExhausted as exc:
                 warnings.warn(
@@ -383,7 +564,9 @@ class BatchEngine:
             tables.append(table)
         return tables
 
-    def _finish_query(self, qbank: Bank, table: HSPTable) -> str:
+    def _finish_query(
+        self, subject: _Subject, qbank: Bank, table: HSPTable
+    ) -> str:
         """Steps 3-4 for one query -- the single-shot code on rebased HSPs."""
         counters = WorkCounters()
         timings = StepTimings()
@@ -391,7 +574,7 @@ class BatchEngine:
         result = finish_comparison(
             self._engine,
             qbank,
-            self.bank2,
+            subject.bank,
             table,
             counters,
             timings,

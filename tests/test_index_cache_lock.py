@@ -1,0 +1,103 @@
+"""Regression tests for IndexCache cross-process locking.
+
+The race this guards: daemon A's LRU eviction unlinks an archive while
+daemon B sits between its ``is_file()`` probe and ``load_index()``.
+Both paths now serialise on an exclusive ``flock`` over
+``.scoris-cache.lock``; these tests pin the observable behaviours --
+``get()`` blocks while another process holds the lock, eviction never
+considers the lock file itself, and the cache degrades gracefully when
+``flock`` is unavailable.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.data.synthetic import random_dna
+from repro.index import IndexCache
+from repro.index import persist as persist_mod
+from repro.io.bank import Bank
+
+
+HOLDER = r"""
+import fcntl, sys, time
+fh = open(sys.argv[1], "ab")
+fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+print("held", flush=True)
+time.sleep(float(sys.argv[2]))
+"""
+
+
+@pytest.fixture
+def bank(rng):
+    return Bank.from_strings([("s0", random_dna(rng, 600))])
+
+
+def test_lock_file_created_and_excluded_from_eviction(tmp_path, bank):
+    cache = IndexCache(tmp_path, max_bytes=1)  # evict everything it can
+    cache.get(bank, w=8, filter_kind="none")
+    lock = tmp_path / IndexCache.LOCK_NAME
+    assert lock.exists()
+    # max_bytes=1 forces full eviction of archives, but never the lock.
+    cache.get(bank, w=9, filter_kind="none")
+    assert lock.exists()
+
+
+@pytest.mark.skipif(persist_mod.fcntl is None, reason="flock unavailable")
+def test_get_blocks_while_another_process_holds_the_lock(tmp_path, bank):
+    cache = IndexCache(tmp_path)
+    cache.get(bank, w=8, filter_kind="none")  # warm: next get is a pure probe
+    lock = tmp_path / IndexCache.LOCK_NAME
+    hold_s = 0.8
+    proc = subprocess.Popen(
+        [sys.executable, "-c", HOLDER, str(lock), str(hold_s)],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        assert proc.stdout.readline().strip() == "held"
+        start = time.monotonic()
+        cache.get(bank, w=8, filter_kind="none")
+        elapsed = time.monotonic() - start
+    finally:
+        proc.wait(timeout=10)
+    # The probe had to wait for the holder to exit and release the lock.
+    assert elapsed >= hold_s * 0.5, f"get() did not block (took {elapsed:.3f}s)"
+
+
+@pytest.mark.skipif(persist_mod.fcntl is None, reason="flock unavailable")
+def test_eviction_waits_for_concurrent_reader(tmp_path, bank, rng):
+    """A second cache instance's store-and-evict pass must not run while
+    the lock is held -- the archive survives until the holder releases."""
+    cache = IndexCache(tmp_path, max_bytes=1)
+    cache.get(bank, w=8, filter_kind="none")
+    victims = sorted(Path(tmp_path).glob("*.scoris3"))
+    lock = tmp_path / IndexCache.LOCK_NAME
+    proc = subprocess.Popen(
+        [sys.executable, "-c", HOLDER, str(lock), "0.8"],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        assert proc.stdout.readline().strip() == "held"
+        other = IndexCache(tmp_path, max_bytes=1)
+        bank2 = Bank.from_strings([("s1", random_dna(rng, 600))])
+        start = time.monotonic()
+        other.get(bank2, w=8, filter_kind="none")  # miss: build + store + evict
+        elapsed = time.monotonic() - start
+    finally:
+        proc.wait(timeout=10)
+    assert elapsed >= 0.3, f"evicting get() did not serialise ({elapsed:.3f}s)"
+
+
+def test_degrades_without_fcntl(tmp_path, bank, monkeypatch):
+    monkeypatch.setattr(persist_mod, "fcntl", None)
+    cache = IndexCache(tmp_path)
+    cache.get(bank, w=8, filter_kind="none")
+    cache.get(bank, w=8, filter_kind="none")
+    assert cache.hits == 1 and cache.misses == 1
