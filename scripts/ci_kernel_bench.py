@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""CI gate: the vector extension kernel must stay fast and exact.
+
+Runs the single-core scalar-vs-vector cell of the step-2 extension
+kernel (``measure_kernel_cell`` from the parallel-scaling benchmark) on
+the quick-scale skewed pair, and fails when
+
+* the two kernels disagree on any lane (kept/cut flags, work counter,
+  or any surviving lane's HSP box), or
+* the vector kernel's best-of-N time is less than ``MIN_KERNEL_SPEEDUP``
+  (3x) faster than the scalar kernel's.
+
+The identity check runs *before* any timing number is trusted, so a
+kernel that got fast by getting wrong cannot pass.  Timing uses
+best-of-``--repeat`` to shrug off CI neighbour noise.
+
+Exit status 0 on success; non-zero with a diagnostic otherwise.
+Run from the repository root with ``PYTHONPATH=src``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from bench_parallel_scaling import (  # noqa: E402
+    MIN_KERNEL_SPEEDUP,
+    make_skewed_pair,
+    measure_kernel_cell,
+    skewed_params,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats", type=int, default=45,
+        help="skewed-pair scale (45 = quick bench tier)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=5,
+        help="timing repetitions per kernel (best-of)",
+    )
+    args = parser.parse_args(argv)
+
+    bank1, bank2 = make_skewed_pair(args.repeats)
+    cell = measure_kernel_cell(
+        bank1, bank2, skewed_params(), repeat=args.repeat
+    )
+    print(
+        f"step-2 kernel cell over {cell['pairs']:,} pairs: "
+        f"scalar {cell['scalar_seconds'] * 1e3:.1f} ms, "
+        f"vector {cell['vector_seconds'] * 1e3:.1f} ms "
+        f"=> {cell['speedup']:.2f}x (bar {MIN_KERNEL_SPEEDUP:.0f}x)"
+    )
+    failures = []
+    if not cell["identical"]:
+        failures.append("kernel outputs differ: vector != scalar lane-for-lane")
+    if cell["speedup"] < MIN_KERNEL_SPEEDUP:
+        failures.append(
+            f"vector kernel speedup {cell['speedup']:.2f}x "
+            f"below the {MIN_KERNEL_SPEEDUP:.0f}x bar"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("kernel bench gate passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

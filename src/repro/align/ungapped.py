@@ -12,6 +12,14 @@ This module is the heart of the reproduction: it implements the paper's
   which is what makes the engine usable in pure Python.  Property-based
   tests assert it agrees with the scalar oracle pair-for-pair.
 
+A third implementation, :func:`repro.align.vector_kernel.batch_extend_vector`,
+sweeps 64 columns per NumPy pass over 2-bit packed banks and is the
+engine's default (``OrisParams.kernel == "vector"``); this module's
+:func:`batch_extend` remains the ``--kernel scalar`` fallback and the
+mid-level differential reference between the scalar oracle and the tile
+kernel.  :func:`get_batch_kernel` maps the parameter value to the
+callable.
+
 Ordered-seed cutoff semantics (the paper's key invariant)
 ----------------------------------------------------------
 
@@ -70,7 +78,25 @@ __all__ = [
     "span_initial_score",
     "batch_extend",
     "BatchExtensionResult",
+    "get_batch_kernel",
 ]
+
+
+def get_batch_kernel(kernel: str):
+    """Resolve an ``OrisParams.kernel`` value to its batch-extend callable.
+
+    Both callables share the :func:`batch_extend` signature and
+    :class:`BatchExtensionResult` contract (the vector one additionally
+    accepts pre-packed banks).  Imported lazily to keep this module free
+    of a cycle with :mod:`repro.align.vector_kernel`.
+    """
+    if kernel == "vector":
+        from .vector_kernel import batch_extend_vector
+
+        return batch_extend_vector
+    if kernel == "scalar":
+        return batch_extend
+    raise ValueError(f"unknown kernel {kernel!r}")
 
 #: Sentinel returned by the scalar reference functions when the ordered-seed
 #: cutoff fires (the paper's ``return -1``).

@@ -1,0 +1,485 @@
+"""Tile-sweep ungapped extension over 2-bit packed banks.
+
+:func:`batch_extend_vector` is a drop-in replacement for
+:func:`repro.align.ungapped.batch_extend` that processes extension columns
+64 at a time instead of one per NumPy pass.  Per tile and per lane it
+
+1. extracts a 64-column window of both banks from their
+   :class:`~repro.encoding.packed.PackedBank` images (two packed-word
+   gathers + one XOR + a byte-LUT expansion yield the per-column match
+   flags; a parallel validity gather masks separators/ambiguity),
+2. turns the match flags into prefix scores with one ``cumsum``, running
+   maxima with one ``maximum.accumulate``, match-run lengths with a
+   last-mismatch ``maximum.accumulate``, and the ordered-seed cutoff /
+   x-drop / separator stop conditions as whole-tile boolean masks,
+3. finds each lane's first stop column, commits the exact
+   pre-stop outputs, and carries surviving lanes into the next tile.
+
+The per-lane semantics are identical to the scalar kernel -- same stop
+column, same best score/offset, same cutoff verdict, same ``steps``
+accounting (each lane counts the columns it examined, stop column
+included).  The one intentional divergence: lanes killed by the cutoff
+report the best score/offset reached *before* the cut column rather than
+through it; both values are dead (``kept`` is False), and the scalar
+reference returns no value at all for such lanes.
+
+Why tiles work (exactness argument)
+-----------------------------------
+
+All stop conditions are monotone within a lane: the first column where
+``invalid | cutoff | x-drop`` holds is the column the scalar kernel stops
+at, and nothing the scalar kernel computes after its stop column exists
+at all.  Computing the whole 64-column tile *speculatively* and then
+discarding columns at/after the first stop therefore reproduces the
+scalar outputs exactly: prefix scores, maxima and run lengths over
+columns strictly before the stop never depend on the discarded suffix,
+and the stop reasons are mutually exclusive where it matters (a cutoff
+column is a valid match whose deficit is under the x-drop, so reading
+the cutoff mask at the stop column cannot confuse a separator or x-drop
+stop for a cut).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..encoding import INVALID
+from ..encoding.packed import PackedBank, bit_columns, match_columns
+from .scoring import ScoringScheme
+from .ungapped import DEFAULT_MAX_EXTEND, BatchExtensionResult
+
+__all__ = ["TILE", "batch_extend_vector", "extend_filter_vector", "VectorStageResult"]
+
+#: Steady-state columns per sweep (two packed words; one validity word).
+TILE = 64
+
+#: Tile widths of the first sweeps.  Most extensions stop within a few
+#: columns (x-drop on diverged flanks, or the ordered cutoff inside
+#: repeats), so early tiles are kept narrow to bound speculative work on
+#: the short-lived lane mass; the lanes that survive into the 64-column
+#: steady state are the long tail, by then heavily compressed.  All lanes
+#: of a call start together, so the schedule can key on the shared
+#: extension depth instead of per-lane ages.
+_TILE_SCHEDULE = (8, 16, 32)
+
+#: Above this many live lanes, one per-column sweep is cheaper than its
+#: share of a speculative tile: with the lane mass still alive, column
+#: work dominates the fixed per-sweep overhead, and per-column lane
+#: compression (the scalar kernel's strength) wastes no work on lanes
+#: that stop within a few columns -- the common case.  The kernel
+#: therefore runs scalar-style sweeps while the population is above this
+#: mark and switches to tiles for the surviving long tail, where the
+#: per-sweep overhead -- not the column work -- is the bottleneck.
+_SCALAR_HEAD_LANES = 1024
+
+#: Sentinel for masked-out prefix scores; far below any reachable score.
+_NEG = np.int64(-(1 << 62))
+
+
+def _extend_dir_tiles(
+    packed1: PackedBank,
+    packed2: PackedBank,
+    seq1: np.ndarray,
+    seq2: np.ndarray,
+    codes1: np.ndarray,
+    p1: np.ndarray,
+    p2: np.ndarray,
+    start_codes: np.ndarray,
+    w: int,
+    scoring: ScoringScheme,
+    left: bool,
+    max_extend: int,
+    ordered_cutoff: bool,
+    ok2: np.ndarray | None,
+    codes2: np.ndarray | None,
+    initial_scores: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """One-sided tile-sweep extension; same contract as ``_batch_extend_dir``."""
+    n = p1.shape[0]
+    match = np.int64(scoring.match)
+    mismatch = np.int64(scoring.mismatch)
+    xdrop = np.int64(scoring.xdrop_ungapped)
+    if initial_scores is None:
+        init = np.full(n, scoring.seed_score(w), dtype=np.int64)
+    else:
+        init = np.asarray(initial_scores, dtype=np.int64)
+
+    out_score = init.copy()
+    out_offset = np.zeros(n, dtype=np.int64)
+    out_cut = np.zeros(n, dtype=bool)
+
+    # Active-lane state (compressed after each tile).
+    idx = np.arange(n, dtype=np.int64)
+    if left:
+        q1 = p1 - 1  # first scanned column of the next tile
+        q2 = p2 - 1
+    else:
+        q1 = p1 + w
+        q2 = p2 + w
+    score = init.copy()
+    maxi = init.copy()
+    best = np.zeros(n, dtype=np.int64)
+    run = np.full(n, w, dtype=np.int64)
+    codes = start_codes.copy()
+
+    spaced = codes2 is not None
+    steps = 0
+    ext = 0
+
+    # Head: per-column sweeps, verbatim scalar-kernel semantics, while
+    # the lane population is large enough to amortise them.
+    stp = -1 if left else 1
+    while idx.size > _SCALAR_HEAD_LANES and ext < max_extend:
+        steps += idx.size
+        c1 = seq1[q1]
+        c2 = seq2[q2]
+        valid = (c1 < INVALID) & (c2 < INVALID)
+        eq = (c1 == c2) & valid
+
+        score = np.where(eq, score + match, score - mismatch)
+        run = np.where(eq, run + 1, 0)
+        improved = score > maxi
+        maxi = np.where(improved, score, maxi)
+        best = np.where(improved & eq, ext + 1, best)
+
+        if ordered_cutoff:
+            if left:
+                seed1, seed2 = q1, q2
+                lower = codes1[seed1] <= codes
+            else:
+                seed1, seed2 = q1 - (w - 1), q2 - (w - 1)
+                lower = codes1[seed1] < codes
+            if spaced:
+                cut_now = eq & lower & (codes1[seed1] == codes2[seed2])
+            else:
+                if ok2 is not None:
+                    lower = lower & ok2[seed2]
+                cut_now = eq & (run >= w) & lower
+        else:
+            cut_now = np.zeros(idx.size, dtype=bool)
+
+        xstop = (maxi - score) >= xdrop
+        stop = ~valid | cut_now | xstop
+        if stop.any():
+            sidx = idx[stop]
+            out_score[sidx] = maxi[stop]
+            out_offset[sidx] = best[stop]
+            out_cut[sidx] = cut_now[stop]
+            keep = ~stop
+            idx = idx[keep]
+            q1 = q1[keep]
+            q2 = q2[keep]
+            score = score[keep]
+            maxi = maxi[keep]
+            best = best[keep]
+            run = run[keep]
+            codes = codes[keep]
+        q1 = q1 + stp
+        q2 = q2 + stp
+        ext += 1
+
+    tile_no = 0
+    while idx.size and ext < max_extend:
+        T = (
+            _TILE_SCHEDULE[tile_no]
+            if tile_no < len(_TILE_SCHEDULE)
+            else TILE
+        )
+        tile_no += 1
+        tcur = min(T, max_extend - ext)
+        cols = np.arange(T, dtype=np.int64)
+
+        # -- match/validity flags for T columns of every lane ----------- #
+        # The window is gathered in bank order; a left scan walks it
+        # backwards, so its columns are reversed to scan order (column j
+        # of the tile is always the j-th column *examined*).
+        nwords = -(-T // 32)
+        g1 = q1 - (T - 1) if left else q1
+        g2 = q2 - (T - 1) if left else q2
+        x = packed1.gather_words(g1, nwords)
+        x ^= packed2.gather_words(g2, nwords)
+        eq = match_columns(x)[:, :T]
+        valid = bit_columns(
+            packed1.gather_valid(g1) & packed2.gather_valid(g2)
+        )[:, :T]
+        if left:
+            eq = eq[:, ::-1]
+            valid = valid[:, ::-1]
+        eq = eq & valid  # padding/ambiguity pack as 'A': mask them out
+
+        # -- prefix scores, running maxima, improvements ---------------- #
+        s = np.cumsum(np.where(eq, match, -mismatch), axis=1)
+        s += score[:, None]
+        m = np.maximum.accumulate(s, axis=1)
+        np.maximum(m, maxi[:, None], out=m)
+        mprev = np.empty_like(m)
+        mprev[:, 0] = maxi
+        mprev[:, 1:] = m[:, :-1]
+        improved = s > mprev  # a mismatch column can never improve
+
+        # -- ordered-seed cutoff mask ----------------------------------- #
+        run_j = None
+        if ordered_cutoff:
+            if spaced:
+                cand = eq  # anchoring is decided by code equality below
+            else:
+                # Run length after column j: columns since the last
+                # mismatch, or the carried run plus the whole prefix.
+                lastmis = np.maximum.accumulate(
+                    np.where(eq, 0, cols[None, :] + 1), axis=1
+                )
+                run_j = np.where(
+                    lastmis > 0,
+                    (cols[None, :] + 1) - lastmis,
+                    run[:, None] + cols[None, :] + 1,
+                )
+                cand = eq & (run_j >= w)
+            cut = np.zeros_like(eq)
+            li, cj = np.nonzero(cand)
+            if li.size:
+                # Candidate columns are valid matches, so their seed
+                # start positions are in range by construction -- the
+                # sparse gather needs no bounds handling.
+                if left:
+                    sp1 = q1[li] - cj
+                    sp2 = q2[li] - cj
+                else:
+                    sp1 = q1[li] + cj - (w - 1)
+                    sp2 = q2[li] + cj - (w - 1)
+                cc1 = codes1[sp1]
+                if left:
+                    lower = cc1 <= codes[li]
+                else:
+                    lower = cc1 < codes[li]
+                if spaced:
+                    lower &= codes2[sp2] == cc1
+                elif ok2 is not None:
+                    lower &= ok2[sp2]
+                cut[li, cj] = lower
+        else:
+            cut = None
+
+        # -- first stop column per lane --------------------------------- #
+        stop = ~valid | ((m - s) >= xdrop)
+        if cut is not None:
+            stop |= cut
+        js = np.where(stop.any(axis=1), stop.argmax(axis=1), T)
+        if tcur < T:
+            np.minimum(js, tcur, out=js)
+        steps += int(np.minimum(js + 1, tcur).sum())
+
+        # -- commit outputs over columns strictly before the stop ------- #
+        before = cols[None, :] < js[:, None]
+        lane_max = np.maximum(maxi, np.where(before, s, _NEG).max(axis=1))
+        impb = improved & before
+        lastimp = T - 1 - impb[:, ::-1].argmax(axis=1)
+        lane_best = np.where(impb.any(axis=1), ext + lastimp + 1, best)
+
+        done = js < tcur
+        if done.any():
+            sidx = idx[done]
+            out_score[sidx] = lane_max[done]
+            out_offset[sidx] = lane_best[done]
+            if cut is not None:
+                out_cut[sidx] = cut[np.nonzero(done)[0], js[done]]
+            keep = ~done
+            idx = idx[keep]
+            q1 = q1[keep]
+            q2 = q2[keep]
+            codes = codes[keep]
+            score = s[keep][:, tcur - 1]
+            maxi = lane_max[keep]
+            best = lane_best[keep]
+            run = run_j[keep][:, tcur - 1] if run_j is not None else run[keep]
+        else:
+            score = s[:, tcur - 1]
+            maxi = lane_max
+            best = lane_best
+            if run_j is not None:
+                run = run_j[:, tcur - 1]
+        if left:
+            q1 = q1 - tcur
+            q2 = q2 - tcur
+        else:
+            q1 = q1 + tcur
+            q2 = q2 + tcur
+        ext += tcur
+
+    # Lanes still active at max_extend: flush their current best.
+    if idx.size:
+        out_score[idx] = maxi
+        out_offset[idx] = best
+    return out_score, out_offset, out_cut, steps
+
+
+def _extend_both(
+    seq1: np.ndarray,
+    seq2: np.ndarray,
+    codes1: np.ndarray,
+    p1: np.ndarray,
+    p2: np.ndarray,
+    start_codes: np.ndarray,
+    w: int,
+    scoring: ScoringScheme,
+    max_extend: int,
+    ordered_cutoff: bool,
+    ok2: np.ndarray | None,
+    codes2: np.ndarray | None,
+    initial_scores: np.ndarray | None,
+    packed1: PackedBank | None,
+    packed2: PackedBank | None,
+) -> BatchExtensionResult:
+    p1 = np.asarray(p1, dtype=np.int64)
+    p2 = np.asarray(p2, dtype=np.int64)
+    start_codes = np.asarray(start_codes, dtype=np.int64)
+    if not (p1.shape == p2.shape == start_codes.shape):
+        raise ValueError("p1, p2, start_codes must have identical shapes")
+    if packed1 is None:
+        packed1 = PackedBank(seq1)
+    if packed2 is None:
+        packed2 = packed1 if seq2 is seq1 else PackedBank(seq2)
+
+    lscore, loff, lcut, lsteps = _extend_dir_tiles(
+        packed1, packed2, seq1, seq2, codes1, p1, p2, start_codes, w,
+        scoring, left=True, max_extend=max_extend,
+        ordered_cutoff=ordered_cutoff, ok2=ok2, codes2=codes2,
+        initial_scores=initial_scores,
+    )
+    # Mirror the scalar short-circuit: left-cut lanes skip the right scan.
+    if initial_scores is None:
+        base = np.full(p1.shape[0], scoring.seed_score(w), dtype=np.int64)
+    else:
+        base = np.asarray(initial_scores, dtype=np.int64)
+    survivors = np.nonzero(~lcut)[0]
+    rscore = base.copy()
+    roff = np.zeros(p1.shape[0], dtype=np.int64)
+    rcut = np.zeros(p1.shape[0], dtype=bool)
+    rsteps = 0
+    if survivors.size:
+        rs, ro, rc, rsteps = _extend_dir_tiles(
+            packed1, packed2, seq1, seq2, codes1,
+            p1[survivors], p2[survivors], start_codes[survivors], w, scoring,
+            left=False, max_extend=max_extend, ordered_cutoff=ordered_cutoff,
+            ok2=ok2, codes2=codes2,
+            initial_scores=None if initial_scores is None else base[survivors],
+        )
+        rscore[survivors] = rs
+        roff[survivors] = ro
+        rcut[survivors] = rc
+    return BatchExtensionResult(
+        kept=~(lcut | rcut),
+        start1=p1 - loff,
+        end1=p1 + w + roff,
+        start2=p2 - loff,
+        end2=p2 + w + roff,
+        score=lscore + rscore - base,
+        steps=lsteps + rsteps,
+        cut_left=lcut,
+        cut_right=rcut,
+    )
+
+
+def batch_extend_vector(
+    seq1: np.ndarray,
+    seq2: np.ndarray,
+    codes1: np.ndarray,
+    p1: np.ndarray,
+    p2: np.ndarray,
+    start_codes: np.ndarray,
+    w: int,
+    scoring: ScoringScheme,
+    max_extend: int = DEFAULT_MAX_EXTEND,
+    ordered_cutoff: bool = True,
+    ok2: np.ndarray | None = None,
+    codes2: np.ndarray | None = None,
+    initial_scores: np.ndarray | None = None,
+    packed1: PackedBank | None = None,
+    packed2: PackedBank | None = None,
+) -> BatchExtensionResult:
+    """Tile-sweep twin of :func:`repro.align.ungapped.batch_extend`.
+
+    Same parameters and :class:`BatchExtensionResult` contract as the
+    scalar batch kernel, plus optional pre-packed bank images
+    (``packed1``/``packed2``) so repeated calls over the same banks skip
+    repacking.  Lane order is preserved, making downstream HSP tables
+    byte-identical between kernels.
+    """
+    return _extend_both(
+        seq1, seq2, codes1, p1, p2, start_codes, w, scoring,
+        max_extend, ordered_cutoff, ok2, codes2, initial_scores,
+        packed1, packed2,
+    )
+
+
+@dataclass(slots=True)
+class VectorStageResult:
+    """Compacted step-2 chunk outcome with S1 applied inside the kernel.
+
+    The coordinate arrays contain only the surviving lanes (cutoff passed
+    in both directions *and* score >= S1), in original lane order, so the
+    resulting HSP table is byte-identical to the scalar path's
+    filter-after-extend sequence.  The dropped lanes are summarised by
+    the funnel counts, which satisfy
+    ``n_cut_left + n_cut_right + n_below_s1 + len(start1) == n_lanes``.
+    """
+
+    start1: np.ndarray
+    end1: np.ndarray
+    start2: np.ndarray
+    end2: np.ndarray
+    score: np.ndarray
+    n_lanes: int
+    n_cut_left: int
+    n_cut_right: int
+    n_below_s1: int
+    steps: int
+
+
+def extend_filter_vector(
+    seq1: np.ndarray,
+    seq2: np.ndarray,
+    codes1: np.ndarray,
+    p1: np.ndarray,
+    p2: np.ndarray,
+    start_codes: np.ndarray,
+    w: int,
+    scoring: ScoringScheme,
+    s1_threshold: int,
+    max_extend: int = DEFAULT_MAX_EXTEND,
+    ordered_cutoff: bool = True,
+    ok2: np.ndarray | None = None,
+    codes2: np.ndarray | None = None,
+    initial_scores: np.ndarray | None = None,
+    packed1: PackedBank | None = None,
+    packed2: PackedBank | None = None,
+) -> VectorStageResult:
+    """Extend a chunk and apply the S1 threshold before HSPs leave.
+
+    This is the engine's step-2 entry point for the vector kernel: the
+    dead lanes (cut or under-threshold) are compacted away here, so the
+    caller appends the arrays to its HSP table as-is and only touches
+    per-chunk scalars otherwise.
+    """
+    res = _extend_both(
+        seq1, seq2, codes1, p1, p2, start_codes, w, scoring,
+        max_extend, ordered_cutoff, ok2, codes2, initial_scores,
+        packed1, packed2,
+    )
+    keep = res.kept & (res.score >= s1_threshold)
+    n_lanes = res.kept.shape[0]
+    n_cut_left = int(res.cut_left.sum())
+    n_cut_right = int(res.cut_right.sum())
+    return VectorStageResult(
+        start1=res.start1[keep],
+        end1=res.end1[keep],
+        start2=res.start2[keep],
+        end2=res.end2[keep],
+        score=res.score[keep],
+        n_lanes=n_lanes,
+        n_cut_left=n_cut_left,
+        n_cut_right=n_cut_right,
+        n_below_s1=n_lanes - n_cut_left - n_cut_right - int(keep.sum()),
+        steps=res.steps,
+    )

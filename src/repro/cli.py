@@ -133,6 +133,13 @@ def _add_seed_args(parser: argparse.ArgumentParser) -> None:
         "--sort", choices=("evalue", "score", "coords"), default="evalue",
         help="output sort criterion (paper step 4; default evalue)",
     )
+    parser.add_argument(
+        "--kernel", choices=("vector", "scalar"), default="vector",
+        help="ORIS step-2 extension kernel: 'vector' (tile-sweep over "
+        "2-bit packed banks, default) or 'scalar' (historical per-column "
+        "kernel).  Output is byte-identical either way; 'scalar' exists "
+        "for differential testing and as a fallback",
+    )
 
 
 def _add_scoring_args(parser: argparse.ArgumentParser) -> None:
@@ -695,6 +702,7 @@ def _execute(args) -> int:
                 band_radius=args.band_radius,
                 strand=args.strand,
                 sort_key=args.sort,
+                kernel=args.kernel,
             )
         )
     elif args.engine == "blastn":
@@ -862,6 +870,7 @@ def _execute_serve(args) -> int:
         max_evalue=args.evalue,
         band_radius=args.band_radius,
         sort_key=args.sort,
+        kernel=args.kernel,
     )
 
     # Subject source: a plain immutable bank, or a mutable segment store

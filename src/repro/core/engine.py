@@ -39,6 +39,8 @@ from ..align.evalue import KarlinAltschul, karlin_params
 from ..align.hsp import GappedAlignment, HSPTable
 from ..align.records import alignments_to_m8, sort_records
 from ..align.ungapped import batch_extend, span_initial_score
+from ..align.vector_kernel import extend_filter_vector
+from ..encoding.packed import packed_bank_cached
 from ..filters import make_filter_mask
 from ..index.asymmetric import build_asymmetric_indexes
 from ..index.seed_index import CsrSeedIndex
@@ -309,6 +311,12 @@ class OrisEngine:
         dedup: set[tuple[int, int, int, int]] | None = (
             None if p.ordered_cutoff else set()
         )
+        vector = p.kernel == "vector"
+        if vector:
+            # Packing is one linear sweep per bank and the memo makes the
+            # self-comparison (seq2 is seq1) and repeat-call cases free.
+            packed1 = packed_bank_cached(seq1)
+            packed2 = packed_bank_cached(seq2)
         for chunk in iter_pair_chunks(
             index1, index2, common, p.chunk_pairs, p.max_occurrences
         ):
@@ -324,33 +332,65 @@ class OrisEngine:
                 if spaced
                 else None
             )
-            res = batch_extend(
-                seq1,
-                seq2,
-                codes1,
-                chunk.p1,
-                chunk.p2,
-                chunk.codes,
-                w,
-                p.scoring,
-                ordered_cutoff=p.ordered_cutoff,
-                ok2=ok2,
-                codes2=codes2,
-                initial_scores=init,
-            )
-            counters.ungapped_steps += res.steps
-            counters.n_cut += int((~res.kept).sum())
-            registry.inc("step2.cutoff_aborts_left", int(res.cut_left.sum()))
-            registry.inc("step2.cutoff_aborts_right", int(res.cut_right.sum()))
-            registry.inc(
-                "step2.dropped_below_s1",
-                int((res.kept & (res.score < s1_threshold)).sum()),
-            )
-            keep = res.kept & (res.score >= s1_threshold)
-            s1 = res.start1[keep]
-            e1 = res.end1[keep]
-            s2 = res.start2[keep]
-            sc = res.score[keep]
+            if vector:
+                stage = extend_filter_vector(
+                    seq1,
+                    seq2,
+                    codes1,
+                    chunk.p1,
+                    chunk.p2,
+                    chunk.codes,
+                    w,
+                    p.scoring,
+                    s1_threshold,
+                    ordered_cutoff=p.ordered_cutoff,
+                    ok2=ok2,
+                    codes2=codes2,
+                    initial_scores=init,
+                    packed1=packed1,
+                    packed2=packed2,
+                )
+                counters.ungapped_steps += stage.steps
+                counters.n_cut += stage.n_cut_left + stage.n_cut_right
+                registry.inc("step2.cutoff_aborts_left", stage.n_cut_left)
+                registry.inc("step2.cutoff_aborts_right", stage.n_cut_right)
+                registry.inc("step2.dropped_below_s1", stage.n_below_s1)
+                s1 = stage.start1
+                e1 = stage.end1
+                s2 = stage.start2
+                sc = stage.score
+            else:
+                res = batch_extend(
+                    seq1,
+                    seq2,
+                    codes1,
+                    chunk.p1,
+                    chunk.p2,
+                    chunk.codes,
+                    w,
+                    p.scoring,
+                    ordered_cutoff=p.ordered_cutoff,
+                    ok2=ok2,
+                    codes2=codes2,
+                    initial_scores=init,
+                )
+                counters.ungapped_steps += res.steps
+                counters.n_cut += int((~res.kept).sum())
+                registry.inc(
+                    "step2.cutoff_aborts_left", int(res.cut_left.sum())
+                )
+                registry.inc(
+                    "step2.cutoff_aborts_right", int(res.cut_right.sum())
+                )
+                registry.inc(
+                    "step2.dropped_below_s1",
+                    int((res.kept & (res.score < s1_threshold)).sum()),
+                )
+                keep = res.kept & (res.score >= s1_threshold)
+                s1 = res.start1[keep]
+                e1 = res.end1[keep]
+                s2 = res.start2[keep]
+                sc = res.score[keep]
             if dedup is not None and s1.size:
                 # Ablation mode: the cutoff is off, so the same HSP arrives
                 # many times; this is exactly the "costly procedure to

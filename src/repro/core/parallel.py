@@ -41,6 +41,8 @@ from types import SimpleNamespace
 import numpy as np
 
 from ..align.ungapped import batch_extend, span_initial_score
+from ..align.vector_kernel import extend_filter_vector
+from ..encoding.packed import packed_bank_cached
 from ..align.hsp import HSPTable
 from ..index.seed_index import CommonCodes, CsrSeedIndex
 from ..io.bank import Bank
@@ -429,6 +431,13 @@ def _run_range_inner(payload: RangePayload, lo: int, hi: int) -> RangeResult:
     view1 = SimpleNamespace(positions=payload.positions1)
     view2 = SimpleNamespace(positions=payload.positions2)
     w = payload.span
+    vector = params.kernel == "vector"
+    if vector:
+        # The memo keys on the bank array object: fork workers inherit the
+        # parent's arrays and shm workers get per-process cached views, so
+        # each worker process packs each bank at most once.
+        packed1 = packed_bank_cached(payload.seq1)
+        packed2 = packed_bank_cached(payload.seq2)
     out: list[tuple[np.ndarray, ...]] = []
     n_pairs = 0
     n_cut = 0
@@ -447,6 +456,32 @@ def _run_range_inner(payload: RangePayload, lo: int, hi: int) -> RangeResult:
             if payload.spaced
             else None
         )
+        if vector:
+            stage = extend_filter_vector(
+                payload.seq1,
+                payload.seq2,
+                payload.cutoff_codes1,
+                chunk.p1,
+                chunk.p2,
+                chunk.codes,
+                w,
+                params.scoring,
+                payload.threshold,
+                ordered_cutoff=params.ordered_cutoff,
+                ok2=payload.ok2,
+                codes2=payload.codes2,
+                initial_scores=init,
+                packed1=packed1,
+                packed2=packed2,
+            )
+            steps += stage.steps
+            n_cut += stage.n_cut_left + stage.n_cut_right
+            registry.inc("step2.cutoff_aborts_left", stage.n_cut_left)
+            registry.inc("step2.cutoff_aborts_right", stage.n_cut_right)
+            registry.inc("step2.dropped_below_s1", stage.n_below_s1)
+            registry.inc("step2.hsps_kept", int(stage.start1.shape[0]))
+            out.append((stage.start1, stage.end1, stage.start2, stage.score))
+            continue
         res = batch_extend(
             payload.seq1,
             payload.seq2,

@@ -83,6 +83,13 @@ class OrisParams:
         The paper's key invariant.  Disable only in ablation benches; the
         engine then deduplicates HSPs explicitly, which is the
         counterfactual the paper argues against.
+    kernel:
+        Step-2 extension kernel: ``"vector"`` (default; the tile-sweep
+        kernel over 2-bit packed banks) or ``"scalar"`` (the historical
+        one-column-per-pass lane kernel).  Both produce byte-identical
+        HSP tables -- asserted by the differential harness and the golden
+        corpus -- so ``"scalar"`` exists for differential testing and as
+        a fallback, not as a behavioural switch.
     exclude_self:
         Drop trivial self-hits from the output (bank-vs-self workloads).
     sort_key:
@@ -105,6 +112,7 @@ class OrisParams:
     chunk_pairs: int = 1 << 16
     max_occurrences: int | None = None
     ordered_cutoff: bool = True
+    kernel: str = "vector"
     exclude_self: bool = False
     sort_key: str = "evalue"
     gapped_scheduling: str = "single"
@@ -128,6 +136,8 @@ class OrisParams:
             raise ValueError("chunk_pairs must be positive")
         if self.sort_key not in ("evalue", "score", "coords"):
             raise ValueError("sort_key must be evalue/score/coords")
+        if self.kernel not in ("vector", "scalar"):
+            raise ValueError("kernel must be 'vector' or 'scalar'")
         if self.gapped_scheduling not in ("waves", "serial", "single"):
             raise ValueError(
                 "gapped_scheduling must be 'waves', 'serial' or 'single'"

@@ -21,6 +21,7 @@ from .seeds import (
     code_of_word,
     word_of_code,
 )
+from .packed import PAD, PackedBank, bit_columns, match_columns, packed_bank_cached
 from .spaced import PATTERNHUNTER_11_18, SpacedSeedMask, spaced_seed_codes
 from .subset import TRANSITION_EXAMPLE_9_3, SubsetSeedMask, subset_seed_codes
 
@@ -42,6 +43,11 @@ __all__ = [
     "seed_codes",
     "code_of_word",
     "word_of_code",
+    "PAD",
+    "PackedBank",
+    "packed_bank_cached",
+    "match_columns",
+    "bit_columns",
     "PATTERNHUNTER_11_18",
     "SpacedSeedMask",
     "spaced_seed_codes",

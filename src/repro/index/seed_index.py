@@ -135,6 +135,10 @@ class LinkedSeedIndex:
     first: np.ndarray = field(repr=False)
     nxt: np.ndarray = field(repr=False)
     n_indexed: int
+    #: Per-code occurrence counts (chain lengths), computed at build time
+    #: so lookups can fill a preallocated array instead of growing a
+    #: Python list while walking the chain.
+    counts: np.ndarray = field(repr=False, default=None)
 
     @classmethod
     def build(
@@ -147,7 +151,8 @@ class LinkedSeedIndex:
         codes = seed_codes(bank.seq, w)
         ok = valid_window_mask(bank, w, low_complexity_mask, stride)
         n = bank.seq.shape[0]
-        first = np.full(n_seed_codes(w), -1, dtype=np.int64)
+        n_codes = n_seed_codes(w)
+        first = np.full(n_codes, -1, dtype=np.int64)
         nxt = np.full(n, -1, dtype=np.int64)
         # Build the chains back to front so each 'first' ends up pointing at
         # the smallest position and the chain is position-ascending.
@@ -156,21 +161,31 @@ class LinkedSeedIndex:
             code = codes[pos]
             nxt[pos] = first[code]
             first[code] = pos
-        return cls(bank=bank, w=w, first=first, nxt=nxt, n_indexed=len(positions))
+        counts = np.bincount(
+            codes[positions], minlength=n_codes
+        ).astype(np.int64)
+        return cls(
+            bank=bank, w=w, first=first, nxt=nxt,
+            n_indexed=len(positions), counts=counts,
+        )
 
     def positions_of(self, code: int) -> np.ndarray:
         """Occurrence positions of one seed code, ascending (maybe empty).
 
-        Traverses the figure-2 chain; returns an ``int64`` array with the
-        same contract as :meth:`CsrSeedIndex.positions_of`, so the two
-        layouts are drop-in interchangeable for lookups.
+        Traverses the figure-2 chain into a preallocated ``int64`` array
+        (the chain length is known from :attr:`counts`); same contract as
+        :meth:`CsrSeedIndex.positions_of`, so the two layouts are drop-in
+        interchangeable for lookups.
         """
-        out: list[int] = []
-        pos = int(self.first[int(code)])
+        code = int(code)
+        out = np.empty(int(self.counts[code]), dtype=np.int64)
+        pos = int(self.first[code])
+        i = 0
         while pos >= 0:
-            out.append(pos)
+            out[i] = pos
+            i += 1
             pos = int(self.nxt[pos])
-        return np.asarray(out, dtype=np.int64)
+        return out
 
     def nbytes(self, int_bytes: int = 4, char_bytes: int = 1) -> int:
         """Memory footprint using the paper's element sizes.

@@ -5,6 +5,10 @@ output compared byte for byte against the committed ``expected.m8``.
 Any drift -- a scoring change, a sort-order change, a float-formatting
 change -- fails here first.  When a change is *intended*, regenerate the
 corpus with ``python scripts/regen_golden.py`` and review the diff.
+
+Each case runs under both ``--kernel scalar`` and ``--kernel vector``
+against the *same* expected bytes: the committed corpus is the shared
+ground truth, so a kernel that drifts fails its own parametrization.
 """
 
 from __future__ import annotations
@@ -24,8 +28,9 @@ def test_corpus_present():
     assert len(CASES) >= 3, f"golden corpus incomplete: {CASES}"
 
 
+@pytest.mark.parametrize("kernel", ["scalar", "vector"])
 @pytest.mark.parametrize("case", CASES)
-def test_golden_output_is_byte_stable(case, tmp_path):
+def test_golden_output_is_byte_stable(case, kernel, tmp_path):
     case_dir = GOLDEN / case
     args = json.loads((case_dir / "cmd.json").read_text(encoding="utf-8"))["args"]
     out = tmp_path / "out.m8"
@@ -35,6 +40,8 @@ def test_golden_output_is_byte_stable(case, tmp_path):
             str(case_dir / "bank2.fa"),
             "-o",
             str(out),
+            "--kernel",
+            kernel,
             *args,
         ]
     )
@@ -42,7 +49,7 @@ def test_golden_output_is_byte_stable(case, tmp_path):
     expected = (case_dir / "expected.m8").read_bytes()
     got = out.read_bytes()
     assert got == expected, (
-        f"golden case {case!r} drifted "
+        f"golden case {case!r} drifted under --kernel {kernel} "
         f"({len(got.splitlines())} vs {len(expected.splitlines())} records); "
         "if intended, regenerate with scripts/regen_golden.py"
     )
