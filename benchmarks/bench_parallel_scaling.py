@@ -247,13 +247,26 @@ def measure_kernel_cell(bank1, bank2, params: OrisParams, repeat: int = 5) -> di
 
 
 def wall_clock_sweep(bank1, bank2, params, workers, start_methods) -> list[dict]:
-    """Measured cells; every one is checked exact against the serial run."""
-    seq = OrisEngine(params).compare(bank1, bank2)
+    """Measured cells; every one is checked exact against the serial run.
+
+    Each cell records the host's ``os.cpu_count()`` and the *effective*
+    worker count (the pool clamps to the number of planned ranges), so a
+    point taken on a 1-core CI runner is never mistaken for a genuine
+    scaling measurement when the series is compared across machines.
+    """
+    engine = OrisEngine(params)
+    seq = engine.compare(bank1, bank2)
     seq_lines = [r.to_line() for r in seq.records]
+    i1, i2 = engine._build_indexes(bank1, bank2)
+    common = i1.common_codes(i2)
+    cpus = os.cpu_count() or 1
     cells = []
     for method in start_methods:
         for split in SPLITS:
             for n in workers:
+                ranges = plan_ranges(
+                    common, n * OVERSUBSCRIPTION, params, split
+                )
                 t0 = time.perf_counter()
                 with warnings.catch_warnings():
                     # Off-fork start methods warn by design; the sweep
@@ -272,6 +285,8 @@ def wall_clock_sweep(bank1, bank2, params, workers, start_methods) -> list[dict]
                 cells.append(
                     {
                         "workers": n,
+                        "effective_workers": min(n, len(ranges)),
+                        "cpu_count": cpus,
                         "start_method": method,
                         "split": split,
                         "wall_seconds": wall,
@@ -334,12 +349,14 @@ def render(point: dict) -> str:
         title="Cost-model makespan (pair cost of the busiest worker)",
     )
     cell_rows = [
-        (c["workers"], c["start_method"], c["split"], f"{c['wall_seconds']:.3f}",
+        (f"{c['workers']}/{c.get('effective_workers', c['workers'])}",
+         c["start_method"], c["split"], f"{c['wall_seconds']:.3f}",
          c["records"], "exact" if c["exact"] else "MISMATCH")
         for c in point["cells"]
     ]
     cell_table = render_table(
-        ["workers", "start", "split", "time (s)", "records", "vs serial"],
+        ["workers (asked/eff)", "start", "split", "time (s)", "records",
+         "vs serial"],
         cell_rows,
         title="Measured cells (single-core container: wall times informational)",
     )

@@ -1,0 +1,240 @@
+"""Serving-layer benchmark: router overhead and shard-count scaling.
+
+Two questions about the scatter-gather fleet, answered with real child
+processes over real sockets:
+
+1. **What does the router cost?**  The same query stream is sent to a
+   single daemon directly and to a router fronting *one* shard (the
+   degenerate fleet: same work, one extra hop + merge).  The per-query
+   difference is the router's overhead -- scatter bookkeeping, the
+   gather wait, ownership filtering, and the merge resort.
+
+2. **How does latency change with shard count?**  The stream is then
+   repeated against fleets of 1, 2, and 3 shards over the same bank.
+   On a single-core CI host the shards share one core, so the curve is
+   *informational* (it mostly measures scatter fan-out cost); on a
+   multi-core host it shows the per-shard index shrinking.
+
+Every fleet response is checked byte-identical to the direct daemon's
+before any number is reported; a benchmark of wrong answers is noise.
+
+    python benchmarks/bench_serve_fleet.py            # full tier
+    python benchmarks/bench_serve_fleet.py --quick    # CI tier
+
+``main()`` appends one data point to ``BENCH_serve.json`` at the repo
+root (schema ``scoris-bench/1``) so the series is trackable across
+commits; CI uploads it as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _shared import print_and_return
+from repro.core import OrisParams
+from repro.data.synthetic import mutate, random_dna
+from repro.eval import render_table
+from repro.io.bank import Bank
+from repro.serve import OrisClient, OrisDaemon, ServeConfig
+from repro.serve.fleet import (
+    FleetRouter,
+    RouterConfig,
+    ShardManager,
+    plan_fleet,
+    required_overlap,
+    write_plan,
+)
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+SHARD_COUNTS = (1, 2, 3)
+MAX_QUERY_NT = 600
+
+
+def build_inputs(quick: bool):
+    """A seam-heavy bank and a query stream with real homology."""
+    rng = np.random.default_rng(20080613)
+    chrom_nt = 20_000 if quick else 60_000
+    core = random_dna(rng, 300)
+    parts, pos = [], 0
+    while pos < chrom_nt:
+        fill = random_dna(rng, int(rng.integers(500, 1500)))
+        parts.append(fill)
+        pos += len(fill)
+        hit = mutate(rng, core, sub_rate=0.02, indel_rate=0.0)
+        parts.append(hit)
+        pos += len(hit)
+    chrom = "".join(parts)
+    bank = Bank.from_strings(
+        [("chrA", chrom), ("short1", random_dna(rng, 800))]
+    )
+    queries = [("qcore", core)]
+    step = 4_000 if quick else 2_500
+    for start in range(1_000, len(chrom) - 600, step):
+        frag = mutate(rng, chrom[start : start + 450],
+                      sub_rate=0.03, indel_rate=0.0)
+        queries.append((f"q{start}", frag))
+    return bank, queries
+
+
+def time_stream(host, port, queries, repeat) -> tuple[dict[str, str], list[float]]:
+    """Send the stream *repeat* times; per-query latencies in ms."""
+    answers: dict[str, str] = {}
+    latencies: list[float] = []
+    with OrisClient(host, port, timeout=600.0) as client:
+        for _ in range(repeat):
+            for name, seq in queries:
+                t0 = time.perf_counter()
+                m8 = client.query(name, seq)
+                latencies.append((time.perf_counter() - t0) * 1e3)
+                answers[name] = m8
+    return answers, latencies
+
+
+def summarize(latencies: list[float]) -> dict:
+    ordered = sorted(latencies)
+    return {
+        "n": len(ordered),
+        "mean_ms": statistics.fmean(ordered),
+        "p50_ms": ordered[len(ordered) // 2],
+        "p90_ms": ordered[int(len(ordered) * 0.9)],
+    }
+
+
+def run_experiment(quick: bool) -> dict:
+    bank, queries = build_inputs(quick)
+    repeat = 2 if quick else 5
+    params = OrisParams()
+    serve_cfg = ServeConfig(n_workers=1, check_memory=False, max_delay_ms=10.0)
+
+    daemon = OrisDaemon(bank, params, serve_cfg)
+    daemon.start()
+    try:
+        reference, direct_lat = time_stream(*daemon.address, queries, repeat)
+    finally:
+        daemon.shutdown()
+
+    fleets = {}
+    mismatches = 0
+    for n_shards in SHARD_COUNTS:
+        import tempfile
+
+        work = tempfile.mkdtemp(prefix=f"scoris_bench_fleet{n_shards}_")
+        plan = plan_fleet(bank, n_shards, required_overlap(MAX_QUERY_NT, params))
+        write_plan(plan, work)
+        manager = ShardManager(plan, work, shard_args=["--workers", "1"])
+        manager.start()
+        router = FleetRouter(plan, manager, params=params, config=RouterConfig())
+        router.start()
+        try:
+            answers, lat = time_stream(*router.address, queries, repeat)
+        finally:
+            router.shutdown()
+            manager.stop()
+            import shutil
+
+            shutil.rmtree(work, ignore_errors=True)
+        for name in reference:
+            if answers.get(name) != reference[name]:
+                mismatches += 1
+        fleets[n_shards] = {
+            "planned_shards": n_shards,
+            "effective_shards": plan.n_shards,
+            **summarize(lat),
+        }
+
+    direct = summarize(direct_lat)
+    one_shard = fleets[1]
+    return {
+        "quick": quick,
+        "cpu_count": os.cpu_count() or 1,
+        "bank_nt": bank.size_nt,
+        "n_queries": len(queries),
+        "repeat": repeat,
+        "direct": direct,
+        "fleets": {str(n): v for n, v in fleets.items()},
+        "router_overhead_ms": one_shard["mean_ms"] - direct["mean_ms"],
+        "byte_identical": mismatches == 0,
+    }
+
+
+def render(point: dict) -> str:
+    rows = [("direct daemon", "-", f"{point['direct']['mean_ms']:.1f}",
+             f"{point['direct']['p50_ms']:.1f}",
+             f"{point['direct']['p90_ms']:.1f}")]
+    for n, v in sorted(point["fleets"].items(), key=lambda kv: int(kv[0])):
+        rows.append(
+            (f"fleet x{n}", str(v["effective_shards"]),
+             f"{v['mean_ms']:.1f}", f"{v['p50_ms']:.1f}",
+             f"{v['p90_ms']:.1f}")
+        )
+    table = render_table(
+        ["target", "shards", "mean (ms)", "p50 (ms)", "p90 (ms)"],
+        rows,
+        title=(
+            f"Per-query latency, {point['n_queries']} queries x "
+            f"{point['repeat']} passes over a {point['bank_nt']:,} nt bank "
+            f"({point['cpu_count']}-core host)"
+        ),
+    )
+    ident = ("all fleet responses byte-identical to the direct daemon"
+             if point["byte_identical"] else "BYTE MISMATCH vs direct daemon")
+    return (
+        f"{table}\n"
+        f"router overhead (1-shard fleet vs direct): "
+        f"{point['router_overhead_ms']:+.1f} ms mean per query\n"
+        f"{ident}\n"
+    )
+
+
+def check_shape(point: dict) -> list[str]:
+    problems = []
+    if not point["byte_identical"]:
+        problems.append("fleet responses diverged from the direct daemon")
+    return problems
+
+
+def append_bench_point(point: dict) -> None:
+    """Append one measurement to BENCH_serve.json (schema scoris-bench/1)."""
+    if BENCH_FILE.is_file():
+        doc = json.loads(BENCH_FILE.read_text(encoding="utf-8"))
+        if doc.get("schema") != "scoris-bench/1":
+            raise SystemExit(
+                f"{BENCH_FILE} has unknown schema {doc.get('schema')!r}"
+            )
+    else:
+        doc = {"schema": "scoris-bench/1", "points": []}
+    doc["points"].append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "python": platform.python_version(),
+            "bench": "serve_fleet",
+            **point,
+        }
+    )
+    BENCH_FILE.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    quick = "--quick" in argv
+    point = run_experiment(quick)
+    print_and_return(render(point))
+    append_bench_point(point)
+    print(f"appended data point to {BENCH_FILE}")
+    problems = check_shape(point)
+    for p in problems:
+        print(f"FAIL: {p}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,7 @@ Run from the repository root with ``PYTHONPATH=src``.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import queue
 import signal
@@ -153,31 +154,40 @@ def worker_pids(parent_pid: int) -> list:
 
 
 def start_daemon(bank_path: Path) -> tuple:
+    # Readiness comes from --announce-file, not stdout scraping: the
+    # daemon atomically writes {host, port, pid} once the socket is
+    # bound, and the pid field rejects a stale file from a previous run.
+    announce = bank_path.parent / "daemon.announce.json"
     proc = subprocess.Popen(
         [
             sys.executable, "-m", "repro.cli", "serve", str(bank_path),
             "--workers", "2", "--max-delay-ms", "20", "--no-memory-check",
+            "--announce-file", str(announce),
         ],
-        stdout=subprocess.PIPE,
+        stdout=subprocess.DEVNULL,
         stderr=subprocess.PIPE,
         text=True,
         env=child_env(),
         cwd=REPO,
     )
-    assert proc.stdout is not None
     deadline = time.monotonic() + 120.0
-    line = ""
+    info = None
     while time.monotonic() < deadline:
-        line = proc.stdout.readline().strip()
-        if line:
-            break
         if proc.poll() is not None:
             fail(f"daemon died at startup: {proc.stderr.read()}")
-    if not line.startswith("SERVE READY host="):
-        fail(f"unexpected readiness line: {line!r}")
-    host = line.split("host=", 1)[1].split()[0]
-    port = int(line.rsplit("port=", 1)[1])
-    note(f"daemon ready on {host}:{port} (pid {proc.pid})")
+        try:
+            data = json.loads(announce.read_text())
+        except (OSError, json.JSONDecodeError):
+            time.sleep(0.05)
+            continue
+        if data.get("pid") == proc.pid:
+            info = data
+            break
+        time.sleep(0.05)
+    if info is None:
+        fail("daemon never wrote its announce file")
+    host, port = info["host"], int(info["port"])
+    note(f"daemon ready on {host}:{port} (pid {proc.pid}, via announce file)")
     return proc, host, port
 
 

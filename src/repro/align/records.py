@@ -30,6 +30,7 @@ def alignments_to_m8(
     max_evalue: float | None = None,
     minus_strand: bool = False,
     exclude_self: bool = False,
+    subject_lengths: np.ndarray | None = None,
 ) -> list[M8Record]:
     """Convert alignments (global coordinates) into ``-m 8`` records.
 
@@ -52,7 +53,16 @@ def alignments_to_m8(
         Drop trivial self-hits (same sequence name, identical plus-strand
         coordinates on both axes) -- the convenience for bank-vs-self
         comparisons such as EST clustering.
+    subject_lengths:
+        Optional per-sequence override of the subject length ``n`` used
+        for e-values (indexed like ``bank2``'s sequences).  A fleet
+        shard serving a *window* of a longer sequence passes the
+        original full lengths here so its e-values match the monolithic
+        comparison exactly.  Plus strand only: minus-strand coordinate
+        mapping still needs the actual (reverse-complemented) lengths.
     """
+    if subject_lengths is not None and minus_strand:
+        raise ValueError("subject_lengths overrides are plus-strand only")
     m = bank1.size_nt
     out: list[M8Record] = []
     for aln in alignments:
@@ -68,7 +78,10 @@ def alignments_to_m8(
             continue
         q_len1 = aln.end1 - aln.start1
         s_len2 = aln.end2 - aln.start2
-        n = bank2.sequence_length(s_idx)
+        if subject_lengths is not None:
+            n = int(subject_lengths[s_idx])
+        else:
+            n = bank2.sequence_length(s_idx)
         evalue = stats.evalue(aln.score, m, n)
         if max_evalue is not None and evalue > max_evalue:
             continue

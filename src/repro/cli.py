@@ -402,6 +402,19 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--no-memory-check", action="store_true",
         help="skip the governor's available-memory preflight on admission",
     )
+    parser.add_argument(
+        "--announce-file", default=None, metavar="PATH",
+        help="also write the bound address as JSON ({host, port, pid}) "
+        "to PATH once the daemon is listening; written atomically, so a "
+        "supervisor can poll the file instead of scraping stdout",
+    )
+    parser.add_argument(
+        "--fleet-profile", default=None, metavar="PATH",
+        help="serve as one shard of a fleet: compute S1 thresholds and "
+        "e-values from the global subject statistics in this planner-"
+        "written profile JSON instead of the local tile's own (see "
+        "'serve-fleet'; incompatible with --store)",
+    )
     # Hidden chaos-testing hook: arm deterministic fault points
     # (repro.runtime.faults specs, e.g. "worker.crash:0.05:1234").  The
     # spec is exported as SCORIS_FAULTS so spawned workers inherit it.
@@ -410,6 +423,82 @@ def build_serve_parser() -> argparse.ArgumentParser:
     _add_seed_args(parser)
     _add_scoring_args(parser)
     _add_index_cache_args(parser)
+    _add_obs_args(parser, profile=False)
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    return parser
+
+
+def build_serve_fleet_parser() -> argparse.ArgumentParser:
+    """Parser for ``scoris-n serve-fleet`` (sharded scatter-gather)."""
+    parser = argparse.ArgumentParser(
+        prog="scoris-n serve-fleet",
+        description="Cut the subject bank into overlapping shards, run "
+        "one query daemon per shard, and front them with a router that "
+        "speaks the same protocol as 'serve' -- 'scoris-n query' works "
+        "against it unchanged.  Fleet output is byte-identical to a "
+        "single daemon over the whole bank: shards use the planner's "
+        "global statistics and the router deduplicates seam-straddling "
+        "alignments by window ownership.  The bound address is announced "
+        "on stdout as 'FLEET READY host=H port=P shards=N'.",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("bank", help="subject bank (FASTA, optionally gzip)")
+    parser.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="target shard count; the planner may produce fewer for "
+        "tiny banks (exactness never depends on the count; default 2)",
+    )
+    parser.add_argument(
+        "--shard-overlap", type=int, default=None, metavar="NT",
+        help="window overlap between adjacent shards of a long "
+        "sequence; must be at least twice the longest alignment span "
+        "(default: computed from --max-query-nt)",
+    )
+    parser.add_argument(
+        "--work-dir", default=None, metavar="DIR",
+        help="directory for shard FASTAs, the plan, and announce files "
+        "(default: a temporary directory, removed on exit)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="router bind address"
+    )
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="router bind port (default 0 = pick a free port)",
+    )
+    parser.add_argument(
+        "--workers-per-shard", type=int, default=1, metavar="N",
+        help="step-2 worker processes per shard daemon (default 1)",
+    )
+    parser.add_argument(
+        "--announce-file", default=None, metavar="PATH",
+        help="write the router's bound {host, port, pid} JSON to PATH",
+    )
+    admission = parser.add_argument_group("admission control")
+    admission.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="router-wide in-flight request cap (default 64)",
+    )
+    admission.add_argument(
+        "--max-query-nt", type=int, default=1_000_000, metavar="NT",
+        help="per-query size cap (default 1000000)",
+    )
+    admission.add_argument(
+        "--tenant-quota", type=int, default=None, metavar="N",
+        help="per-tenant in-flight cap layered on the global queue: a "
+        "query may carry a 'tenant' field, and a tenant over its quota "
+        "is shed before it can starve the others (default: disabled)",
+    )
+    admission.add_argument(
+        "--request-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="default server-side deadline per query (default 60)",
+    )
+    parser.add_argument("--faults", default=None, help=argparse.SUPPRESS)
+    _add_ingest_arg(parser)
+    _add_seed_args(parser)
+    _add_scoring_args(parser)
     _add_obs_args(parser, profile=False)
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
@@ -555,6 +644,7 @@ def _load_banks(args) -> tuple:
 _SUBCOMMANDS = (
     "compare",
     "serve",
+    "serve-fleet",
     "query",
     "add-sequences",
     "remove-sequences",
@@ -584,6 +674,9 @@ def run(argv: list[str] | None = None) -> int:
     if command == "serve":
         args = build_serve_parser().parse_args(rest)
         execute = _execute_serve
+    elif command == "serve-fleet":
+        args = build_serve_fleet_parser().parse_args(rest)
+        execute = _execute_serve_fleet
     elif command == "query":
         args = build_query_parser().parse_args(rest)
         execute = _execute_query
@@ -839,6 +932,11 @@ def _execute_serve(args) -> int:
 
     if args.workers < 1:
         return _fail_usage("--workers must be >= 1")
+    if args.fleet_profile is not None and args.store is not None:
+        return _fail_usage(
+            "--fleet-profile serves an immutable shard tile; it cannot "
+            "be combined with --store"
+        )
     if args.faults:
         from .runtime import faults
 
@@ -940,13 +1038,23 @@ def _execute_serve(args) -> int:
         )
     except ValueError as exc:
         return _fail_usage(str(exc))
+    fleet_profile = None
+    if args.fleet_profile is not None:
+        from .serve.fleet.planner import load_profile
+
+        try:
+            fleet_profile = load_profile(args.fleet_profile)
+        except (OSError, ValueError, KeyError) as exc:
+            return _fail_usage(f"--fleet-profile: {exc}")
     stop = ShutdownRequest()
     daemon = OrisDaemon(
         bank2, params, config, index_cache=index_cache, obs=obs, stop=stop,
-        store=store,
+        store=store, fleet_profile=fleet_profile,
     )
     try:
         daemon.start()
+        if args.announce_file is not None:
+            _write_announce(args.announce_file, *daemon.address)
         print(daemon.ready_message(), flush=True)
         with signal_shutdown(stop):
             code = daemon.serve_forever()
@@ -959,6 +1067,157 @@ def _execute_serve(args) -> int:
     if args.stats:
         _print_serve_stats(daemon.registry)
     return code
+
+
+def _execute_serve_fleet(args) -> int:
+    import os
+    import shutil
+    import tempfile
+
+    from .runtime.scheduler import ShutdownRequest, signal_shutdown
+    from .serve.fleet import (
+        FleetRouter,
+        RouterConfig,
+        ShardManager,
+        plan_fleet,
+        required_overlap,
+        write_plan,
+    )
+
+    if args.shards < 1:
+        return _fail_usage("--shards must be >= 1")
+    if args.workers_per_shard < 1:
+        return _fail_usage("--workers-per-shard must be >= 1")
+    if args.faults:
+        from .runtime import faults
+
+        try:
+            faults.arm(args.faults)
+        except faults.FaultSpecError as exc:
+            return _fail_usage(str(exc))
+        os.environ[faults.ENV_VAR] = args.faults
+
+    params = OrisParams(
+        w=args.word_size,
+        scoring=ScoringScheme(
+            match=args.match,
+            mismatch=args.mismatch,
+            xdrop_ungapped=args.xdrop,
+            xdrop_gapped=args.xdrop_gapped,
+        ),
+        filter_kind=args.filter_kind,
+        max_evalue=args.evalue,
+        band_radius=args.band_radius,
+        sort_key=args.sort,
+        kernel=args.kernel,
+    )
+    bank2, report = load_bank(args.bank, policy=args.ingest)
+    if report.warnings:
+        _print_diagnostics(report.warnings)
+
+    overlap = args.shard_overlap
+    if overlap is None:
+        overlap = required_overlap(args.max_query_nt, params)
+    else:
+        needed = required_overlap(args.max_query_nt, params)
+        if overlap < needed:
+            return _fail_usage(
+                f"--shard-overlap {overlap} is unsafe for queries up to "
+                f"{args.max_query_nt} nt: seam-straddling alignments "
+                f"could be truncated (need >= {needed}; lower "
+                "--max-query-nt or raise the overlap)"
+            )
+    plan = plan_fleet(bank2, args.shards, overlap)
+    if plan.n_shards < args.shards:
+        print(
+            f"serve-fleet: bank of {bank2.size_nt} nt supports only "
+            f"{plan.n_shards} shard(s) at overlap {overlap} "
+            f"(asked for {args.shards}; lower --max-query-nt or "
+            "--shard-overlap to cut finer)",
+            file=sys.stderr,
+        )
+
+    work_dir = args.work_dir
+    ephemeral = work_dir is None
+    if ephemeral:
+        work_dir = tempfile.mkdtemp(prefix="scoris_fleet_")
+    write_plan(plan, work_dir)
+
+    # Shard daemons inherit the fleet's seeding/scoring/ingest flags so
+    # every shard computes exactly what one daemon over the whole bank
+    # would (the profile file handles the statistics that *must* differ).
+    shard_args = [
+        "--workers", str(args.workers_per_shard),
+        "-W", str(args.word_size),
+        "-e", repr(args.evalue),
+        "--filter", args.filter_kind,
+        "--sort", args.sort,
+        "--kernel", args.kernel,
+        "--match", str(args.match),
+        "--mismatch", str(args.mismatch),
+        "--xdrop", str(args.xdrop),
+        "--xdrop-gapped", str(args.xdrop_gapped),
+        "--band-radius", str(args.band_radius),
+        "--ingest", args.ingest,
+        "--max-query-nt", str(args.max_query_nt),
+        "--request-timeout", str(args.request_timeout),
+    ]
+    try:
+        config = RouterConfig(
+            host=args.host,
+            port=args.port,
+            max_queue=args.max_queue,
+            max_query_nt=args.max_query_nt,
+            request_timeout_s=args.request_timeout,
+            tenant_quota=args.tenant_quota,
+        )
+    except ValueError as exc:
+        if ephemeral:
+            shutil.rmtree(work_dir, ignore_errors=True)
+        return _fail_usage(str(exc))
+    stop = ShutdownRequest()
+    manager = ShardManager(plan, work_dir, shard_args=shard_args)
+    router = None
+    try:
+        manager.start()
+        router = FleetRouter(plan, manager, params, config, stop=stop)
+        router.registry.merge(manager.registry)
+        manager.registry = router.registry  # one fleet-wide registry
+        router.start()
+        if args.announce_file is not None:
+            _write_announce(args.announce_file, *router.address)
+        print(router.ready_message(), flush=True)
+        with signal_shutdown(stop):
+            code = router.serve_forever()
+    finally:
+        if router is not None:
+            router.shutdown()
+        manager.stop()
+        if ephemeral:
+            shutil.rmtree(work_dir, ignore_errors=True)
+    if router is not None:
+        if args.metrics_out is not None:
+            _write_serve_metrics(args.metrics_out, router.registry)
+        if args.stats:
+            _print_serve_stats(router.registry)
+    return code
+
+
+def _write_announce(path: str, host: str, port: int) -> None:
+    """Atomically publish the bound address for supervisors to poll.
+
+    The ``pid`` lets a reader distinguish this incarnation's file from
+    a stale one left by a previous process on the same path.
+    """
+    import json
+    import os
+
+    payload = {"host": host, "port": port, "pid": os.getpid()}
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+        fh.write("\n")
+    os.replace(tmp, path)
 
 
 def _write_serve_metrics(path: str, registry) -> None:

@@ -249,14 +249,24 @@ class OrisEngine:
         )
 
     def _resolve_hsp_min_score(
-        self, bank1: Bank, bank2: Bank, stats: KarlinAltschul
+        self,
+        bank1: Bank,
+        bank2: Bank,
+        stats: KarlinAltschul,
+        subject_nt: int | None = None,
+        subject_seqs: int | None = None,
     ) -> int:
+        """The S1 threshold; ``subject_nt``/``subject_seqs`` override the
+        subject-side sizes so a shard serving one tile of a larger bank
+        can use the *global* bank's statistics (fleet serving)."""
         p = self.params
         if p.hsp_min_score is not None:
             return p.hsp_min_score
         # BLAST-style preliminary threshold: an HSP enters the gapped stage
         # if alone it would reach hsp_evalue against an average subject.
-        n_mean = max(bank2.size_nt // max(bank2.n_sequences, 1), 1)
+        nt = bank2.size_nt if subject_nt is None else subject_nt
+        seqs = bank2.n_sequences if subject_seqs is None else subject_seqs
+        n_mean = max(nt // max(seqs, 1), 1)
         s = stats.min_score_for_evalue(p.hsp_evalue, bank1.size_nt, n_mean)
         # Never below the seed's own score + 1 (a bare seed is not an HSP).
         return max(s, p.scoring.seed_score(self.params.effective_w) + 1)

@@ -620,8 +620,14 @@ def finish_comparison(
     timings: StepTimings,
     stats,
     registry: MetricsRegistry | None = None,
+    subject_lengths=None,
 ) -> ComparisonResult:
-    """Steps 3-4 on a merged HSP table (shared by parallel + resilient)."""
+    """Steps 3-4 on a merged HSP table (shared by parallel + resilient).
+
+    ``subject_lengths`` optionally overrides the per-sequence subject
+    length used for e-values (fleet shards serving windows of longer
+    sequences; see :func:`repro.align.records.alignments_to_m8`).
+    """
     from ..align.records import alignments_to_m8, sort_records
 
     params = engine.params
@@ -639,7 +645,8 @@ def finish_comparison(
     t0 = time.perf_counter()
     with span("step4.display"):
         records = alignments_to_m8(
-            alignments, bank1, bank2, stats, max_evalue=params.max_evalue
+            alignments, bank1, bank2, stats, max_evalue=params.max_evalue,
+            subject_lengths=subject_lengths,
         )
         records = sort_records(records, key=params.sort_key)
     counters.n_records = len(records)

@@ -36,6 +36,10 @@ Known points (hook sites in parentheses):
 - ``index.compact_crash``-- die between segment write and manifest publish
   (segment store flush/compact)
 - ``index.wal_truncate`` -- WAL record torn mid-append (segment store)
+- ``fleet.shard_unreachable`` -- the router's scatter to one shard fails
+  as if the shard were down (fleet router)
+- ``fleet.partial_gather``   -- one shard's gathered partial result is
+  dropped after a successful scatter (fleet router)
 """
 
 from __future__ import annotations
@@ -73,6 +77,8 @@ FAULT_POINTS = frozenset(
         "index.manifest_torn",
         "index.compact_crash",
         "index.wal_truncate",
+        "fleet.shard_unreachable",
+        "fleet.partial_gather",
     }
 )
 

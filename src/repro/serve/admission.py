@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from ..obs import MetricsRegistry
 from ..runtime.governor import available_memory_bytes, estimate_batch_bytes
 
-__all__ = ["AdmissionController", "AdmissionDecision"]
+__all__ = ["AdmissionController", "AdmissionDecision", "TenantQuotas"]
 
 
 @dataclass(frozen=True)
@@ -142,3 +142,62 @@ class AdmissionController:
     def _shed(self, status: str, reason: str) -> AdmissionDecision:
         self.registry.inc("serve.requests_shed")
         return AdmissionDecision(admitted=False, status=status, reason=reason)
+
+
+class TenantQuotas:
+    """Per-tenant in-flight caps layered on the shed machinery.
+
+    The global queue bound protects the *service*; it does nothing for
+    fairness -- one chatty tenant can consume every slot.  This layer
+    holds a separate in-flight counter per tenant name and sheds (same
+    ``shed`` status, same retry contract) once a tenant exceeds its
+    quota, before the request ever reaches the global controller.
+    Requests without a tenant share the ``""`` (anonymous) bucket.
+
+    Thread-safe; pair every successful :meth:`try_acquire` with exactly
+    one :meth:`release`.
+    """
+
+    def __init__(
+        self,
+        max_in_flight: int,
+        registry: MetricsRegistry | None = None,
+    ):
+        if max_in_flight < 1:
+            raise ValueError("per-tenant quota must be >= 1")
+        self.max_in_flight = max_in_flight
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._in_flight: dict[str, int] = {}
+
+    def in_flight(self, tenant: str = "") -> int:
+        with self._lock:
+            return self._in_flight.get(tenant, 0)
+
+    def try_acquire(self, tenant: str = "") -> AdmissionDecision:
+        with self._lock:
+            held = self._in_flight.get(tenant, 0)
+            if held >= self.max_in_flight:
+                decision = None
+            else:
+                self._in_flight[tenant] = held + 1
+                decision = AdmissionDecision(admitted=True, status="ok")
+        if decision is None:
+            self.registry.inc("serve.requests_shed_tenant")
+            return AdmissionDecision(
+                admitted=False,
+                status="shed",
+                reason=(
+                    f"tenant {tenant or 'anonymous'!r} exceeds its quota of "
+                    f"{self.max_in_flight} in-flight queries"
+                ),
+            )
+        return decision
+
+    def release(self, tenant: str = "") -> None:
+        with self._lock:
+            held = self._in_flight.get(tenant, 0)
+            if held <= 1:
+                self._in_flight.pop(tenant, None)
+            else:
+                self._in_flight[tenant] = held - 1

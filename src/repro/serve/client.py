@@ -181,18 +181,26 @@ class OrisClient:
             return response
 
     def query(
-        self, name: str, sequence: str, timeout_s: float | None = None
+        self,
+        name: str,
+        sequence: str,
+        timeout_s: float | None = None,
+        tenant: str | None = None,
     ) -> str:
         """Compare one query sequence; returns its ``-m 8`` text.
 
         ``timeout_s`` is the *server-side* deadline: the daemon refuses
         to start work on the query once it has waited longer than this
         (the socket timeout passed to the constructor bounds the wait on
-        this side).
+        this side).  ``tenant`` names the quota bucket when the server
+        enforces per-tenant admission (the fleet router does); plain
+        daemons ignore it.
         """
         request: dict = {"type": "query", "name": name, "sequence": sequence}
         if timeout_s is not None:
             request["timeout_s"] = timeout_s
+        if tenant is not None:
+            request["tenant"] = tenant
         response = self._roundtrip_retrying(request)
         status = response.get("status")
         if status == "ok":

@@ -95,6 +95,7 @@ class OrisDaemon:
         obs: ObsSpec | None = None,
         stop: ShutdownRequest | None = None,
         store=None,
+        fleet_profile=None,
     ):
         self.config = config or ServeConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -115,6 +116,7 @@ class OrisDaemon:
             store=store,
             store_flush_nt=self.config.store_flush_nt,
             store_max_segments=self.config.store_max_segments,
+            fleet_profile=fleet_profile,
         )
         self.admission = AdmissionController(
             max_queue=self.config.max_queue,

@@ -94,6 +94,9 @@ class _Subject:
     arena: SharedArena | None
     spec: object | None
     generation: int
+    #: Per-sequence e-value lengths (fleet shards: the *original* full
+    #: sequence lengths from the fleet profile); ``None`` = use actual.
+    evalue_lengths: np.ndarray | None = None
 
 
 def expand_common_per_query(
@@ -169,12 +172,19 @@ class BatchEngine:
         store=None,
         store_flush_nt: int = 8_000_000,
         store_max_segments: int = 8,
+        fleet_profile=None,
     ):
         p = params or OrisParams()
         if (bank2 is None) == (store is None):
             raise ValueError(
                 "give the engine exactly one subject source: a static "
                 "bank2 or a SegmentStore"
+            )
+        if fleet_profile is not None and store is not None:
+            raise ValueError(
+                "a fleet shard serves an immutable tile: --fleet-profile "
+                "and --store are mutually exclusive (mutation would "
+                "invalidate the planner's global statistics)"
             )
         if p.strand != "plus":
             raise ValueError("the query service searches a single strand")
@@ -187,6 +197,11 @@ class BatchEngine:
             )
         self.params = p
         self.store = store
+        #: Fleet-shard statistics override: S1 thresholds and e-values
+        #: are computed as if this daemon served the planner's *whole*
+        #: bank, so shard output bytes merge seamlessly (see
+        #: :mod:`repro.serve.fleet.planner`).
+        self.fleet_profile = fleet_profile
         self.store_flush_nt = store_flush_nt
         self.store_max_segments = store_max_segments
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -277,9 +292,12 @@ class BatchEngine:
                     stacklevel=2,
                 )
                 self._use_shm = False
+        lengths = None
+        if self.fleet_profile is not None:
+            lengths = self.fleet_profile.subject_lengths_for(bank)
         return _Subject(
             bank=bank, index=index, arena=arena, spec=spec,
-            generation=generation,
+            generation=generation, evalue_lengths=lengths,
         )
 
     def _reap_retired(self) -> None:
@@ -421,9 +439,18 @@ class BatchEngine:
     # ------------------------------------------------------------------ #
 
     def _query_threshold(self, qbank: Bank, subject: _Subject) -> int:
-        """The S1 threshold a single-shot run of *qbank* would use."""
+        """The S1 threshold a single-shot run of *qbank* would use.
+
+        A fleet shard substitutes the *global* bank's size and sequence
+        count so its threshold equals the monolithic daemon's.
+        """
+        profile = self.fleet_profile
         return self._engine._resolve_hsp_min_score(
-            qbank, subject.bank, self.stats
+            qbank,
+            subject.bank,
+            self.stats,
+            subject_nt=None if profile is None else profile.subject_nt,
+            subject_seqs=None if profile is None else profile.subject_seqs,
         )
 
     # ------------------------------------------------------------------ #
@@ -580,6 +607,7 @@ class BatchEngine:
             timings,
             self.stats,
             registry,
+            subject_lengths=subject.evalue_lengths,
         )
         self.registry.merge(registry)
         return format_m8(result.records)

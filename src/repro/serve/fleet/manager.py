@@ -1,0 +1,321 @@
+"""Shard manager: launch and supervise one query daemon per shard.
+
+Each shard runs the unmodified ``scoris-n serve`` daemon as a child
+process over its tile FASTA, with two fleet-specific flags: the
+``--fleet-profile`` statistics override (so its output bytes match the
+monolithic bank) and ``--announce-file`` (so the manager learns the
+bound port without scraping stdout).
+
+Supervision reuses the WorkerPool idioms from the self-healing layer: a
+monitor thread reaps dead shards and respawns them with capped
+exponential backoff on *clustered* deaths (one crash restarts fast; a
+crash loop backs off), and every respawn is counted.  A shard that is
+down is reported as such -- the router degrades loudly, it never waits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ...obs import MetricsRegistry
+from .planner import FleetPlan
+
+__all__ = ["ShardManager", "ShardState"]
+
+#: Backoff policy for crash-looping shards (mirrors RuntimeConfig's
+#: worker respawn defaults, scaled up: a daemon restart is heavier than
+#: a pool worker fork).
+_BACKOFF_BASE = 0.25
+_BACKOFF_CAP = 5.0
+#: Two deaths within this window count as a cluster (backoff doubles).
+_CLUSTER_WINDOW_S = 10.0
+
+
+@dataclass
+class ShardState:
+    """Live supervision state of one shard (returned by :meth:`health`)."""
+
+    shard_id: int
+    ok: bool
+    pid: int | None
+    host: str | None
+    port: int | None
+    respawns: int
+    state: str  # "ready" | "starting" | "down" | "stopped"
+
+
+@dataclass
+class _Shard:
+    shard_id: int
+    fasta: str
+    announce_path: str
+    proc: subprocess.Popen | None = None
+    host: str | None = None
+    port: int | None = None
+    respawns: int = 0
+    recent_deaths: int = 0
+    last_death: float = 0.0
+    next_spawn_at: float = 0.0
+    state: str = "starting"
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class ShardManager:
+    """Supervisor for the fleet's shard daemons."""
+
+    def __init__(
+        self,
+        plan: FleetPlan,
+        work_dir: str,
+        shard_args: list[str] | None = None,
+        registry: MetricsRegistry | None = None,
+        spawn_timeout_s: float = 120.0,
+        poll_interval_s: float = 0.1,
+        python: str | None = None,
+    ):
+        self.plan = plan
+        self.work_dir = os.path.abspath(work_dir)
+        self.shard_args = list(shard_args or [])
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.spawn_timeout_s = spawn_timeout_s
+        self.poll_interval_s = poll_interval_s
+        self.python = python or sys.executable
+        self._profile_path = os.path.join(self.work_dir, "profile.json")
+        self._shards: list[_Shard] = [
+            _Shard(
+                shard_id=spec.shard_id,
+                fasta=os.path.join(self.work_dir, spec.fasta),
+                announce_path=os.path.join(
+                    self.work_dir, f"shard{spec.shard_id:03d}.announce.json"
+                ),
+            )
+            for spec in plan.specs
+        ]
+        self._stopping = threading.Event()
+        self._monitor: threading.Thread | None = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "ShardManager":
+        """Spawn every shard and block until all announce readiness."""
+        for shard in self._shards:
+            self._spawn(shard)
+        deadline = time.monotonic() + self.spawn_timeout_s
+        for shard in self._shards:
+            self._await_announce(shard, deadline)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="fleet-monitor", daemon=True
+        )
+        self._monitor.start()
+        return self
+
+    def stop(self, drain_timeout_s: float = 30.0) -> None:
+        """SIGTERM every shard (graceful drain), SIGKILL stragglers."""
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+        procs = []
+        for shard in self._shards:
+            with shard.lock:
+                shard.state = "stopped"
+                if shard.proc is not None and shard.proc.poll() is None:
+                    try:
+                        shard.proc.send_signal(signal.SIGTERM)
+                    except OSError:
+                        pass
+                    procs.append(shard.proc)
+        deadline = time.monotonic() + drain_timeout_s
+        for proc in procs:
+            try:
+                proc.wait(timeout=max(deadline - time.monotonic(), 0.1))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10.0)
+
+    def __enter__(self) -> "ShardManager":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Introspection (router-facing)
+    # ------------------------------------------------------------------ #
+
+    def endpoint(self, shard_id: int) -> tuple[str, int] | None:
+        """The shard's ``(host, port)``; ``None`` while it is down."""
+        shard = self._shards[shard_id]
+        with shard.lock:
+            if shard.state == "ready" and shard.port is not None:
+                return shard.host or "127.0.0.1", shard.port
+        return None
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def health(self) -> list[ShardState]:
+        out = []
+        for shard in self._shards:
+            with shard.lock:
+                out.append(
+                    ShardState(
+                        shard_id=shard.shard_id,
+                        ok=shard.state == "ready",
+                        pid=shard.proc.pid if shard.proc is not None else None,
+                        host=shard.host,
+                        port=shard.port,
+                        respawns=shard.respawns,
+                        state=shard.state,
+                    )
+                )
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Spawning and supervision
+    # ------------------------------------------------------------------ #
+
+    def _argv(self, shard: _Shard) -> list[str]:
+        return [
+            self.python,
+            "-m",
+            "repro.cli",
+            "serve",
+            shard.fasta,
+            "--port",
+            "0",
+            "--announce-file",
+            shard.announce_path,
+            "--fleet-profile",
+            self._profile_path,
+            *self.shard_args,
+        ]
+
+    def _child_env(self) -> dict[str, str]:
+        # The child must import the same ``repro`` package the manager is
+        # running, regardless of how the caller's PYTHONPATH was spelled
+        # (relative paths break if the cwd ever differs).
+        import repro
+
+        pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH", "")
+        parts = [pkg_root] + [p for p in existing.split(os.pathsep) if p]
+        env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+        return env
+
+    def _spawn(self, shard: _Shard) -> None:
+        # A stale announce file from the previous incarnation must not be
+        # mistaken for the new daemon's: remove it before the exec.
+        try:
+            os.unlink(shard.announce_path)
+        except FileNotFoundError:
+            pass
+        log_path = os.path.join(
+            self.work_dir, f"shard{shard.shard_id:03d}.log"
+        )
+        with open(log_path, "ab") as log:
+            proc = subprocess.Popen(
+                self._argv(shard),
+                stdout=subprocess.DEVNULL,
+                stderr=log,
+                env=self._child_env(),
+                start_new_session=True,
+            )
+        with shard.lock:
+            shard.proc = proc
+            shard.state = "starting"
+            shard.host = None
+            shard.port = None
+
+    def _read_announce(self, shard: _Shard) -> dict | None:
+        try:
+            with open(shard.announce_path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+        if not isinstance(data, dict) or "port" not in data:
+            return None
+        return data
+
+    def _await_announce(self, shard: _Shard, deadline: float) -> None:
+        while time.monotonic() < deadline:
+            proc = shard.proc
+            if proc is not None and proc.poll() is not None:
+                raise RuntimeError(
+                    f"shard {shard.shard_id} exited with code "
+                    f"{proc.returncode} before announcing"
+                )
+            data = self._read_announce(shard)
+            if data is not None and proc is not None and (
+                data.get("pid") == proc.pid
+            ):
+                with shard.lock:
+                    shard.host = str(data.get("host", "127.0.0.1"))
+                    shard.port = int(data["port"])
+                    shard.state = "ready"
+                return
+            time.sleep(self.poll_interval_s)
+        raise TimeoutError(
+            f"shard {shard.shard_id} did not announce within "
+            f"{self.spawn_timeout_s:.0f}s"
+        )
+
+    def _monitor_loop(self) -> None:
+        while not self._stopping.wait(self.poll_interval_s):
+            now = time.monotonic()
+            for shard in self._shards:
+                with shard.lock:
+                    proc, state = shard.proc, shard.state
+                if state in ("stopped", "down") or proc is None:
+                    # "down" is a recorded death awaiting its backoff;
+                    # re-counting it every poll tick would push the
+                    # respawn deadline forward forever.
+                    continue
+                if state == "starting":
+                    # A respawned daemon announcing its new address.
+                    data = self._read_announce(shard)
+                    if data is not None and data.get("pid") == proc.pid:
+                        with shard.lock:
+                            shard.host = str(data.get("host", "127.0.0.1"))
+                            shard.port = int(data["port"])
+                            shard.state = "ready"
+                        self.registry.inc("fleet.shard_ready")
+                if proc.poll() is None:
+                    continue
+                # The shard died.  Cluster detection mirrors WorkerPool:
+                # deaths close together double the respawn delay.
+                with shard.lock:
+                    if now - shard.last_death <= _CLUSTER_WINDOW_S:
+                        shard.recent_deaths += 1
+                    else:
+                        shard.recent_deaths = 1
+                    shard.last_death = now
+                    delay = min(
+                        _BACKOFF_BASE * 2 ** (shard.recent_deaths - 1),
+                        _BACKOFF_CAP,
+                    )
+                    shard.next_spawn_at = now + delay
+                    shard.state = "down"
+                self.registry.inc("fleet.shard_deaths")
+            # Second pass: respawn anything whose backoff has elapsed.
+            for shard in self._shards:
+                with shard.lock:
+                    due = (
+                        shard.state == "down"
+                        and time.monotonic() >= shard.next_spawn_at
+                    )
+                if due and not self._stopping.is_set():
+                    self._spawn(shard)
+                    with shard.lock:
+                        shard.respawns += 1
+                    self.registry.inc("fleet.shard_respawns")
